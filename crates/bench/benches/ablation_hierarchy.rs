@@ -1,0 +1,57 @@
+//! Ablation (paper §VIII future work): hierarchical vs flat coherence
+//! for multi-node supernodes — how much global traffic local agents
+//! absorb as the node count scales.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simcxl_coherence::hierarchy::{HierarchicalDirectory, HierarchyCost, NodeId};
+use simcxl_mem::PhysAddr;
+use sim_core::{SimRng, Tick};
+
+fn run(nodes: usize, locality: f64) -> (f64, Tick, Tick) {
+    let mut d = HierarchicalDirectory::new(nodes, HierarchyCost::default());
+    let mut rng = SimRng::new(9);
+    let mut hier = Tick::ZERO;
+    let mut flat = Tick::ZERO;
+    for i in 0..20_000u64 {
+        let node = NodeId((i % nodes as u64) as usize);
+        // With probability `locality`, access the node's own region.
+        let line = if rng.chance(locality) {
+            node.0 as u64 * 1024 + rng.below(256)
+        } else {
+            rng.below(nodes as u64 * 1024)
+        };
+        let addr = PhysAddr::new(line * 64);
+        let cost = if rng.chance(0.2) {
+            d.write(node, addr)
+        } else {
+            d.read(node, addr)
+        };
+        hier += cost;
+        flat += d.flat_cost();
+    }
+    let s = d.stats();
+    let absorbed = s.local_hits as f64 / (s.local_hits + s.global_consults) as f64;
+    (absorbed, hier, flat)
+}
+
+fn bench(c: &mut Criterion) {
+    println!("== Ablation: hierarchical coherence for supernodes (paper §VIII) ==");
+    println!("  nodes | locality | local-absorbed | hier/flat time");
+    for nodes in [2usize, 4, 8, 16] {
+        for locality in [0.5, 0.9] {
+            let (absorbed, hier, flat) = run(nodes, locality);
+            println!(
+                "  {nodes:5} | {locality:8.1} | {:13.1}% | {:.2}",
+                absorbed * 100.0,
+                hier.as_secs_f64() / flat.as_secs_f64()
+            );
+        }
+    }
+    let mut g = c.benchmark_group("ablation_hierarchy");
+    g.sample_size(10);
+    g.bench_function("supernode_16", |b| b.iter(|| run(16, 0.9)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Ablation: the multi-stride RPC prefetcher's contribution per bench
+//! (paper §VI-E: 12% average improvement, minimum 3.6% on the deeply
+//! nested bench).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protowire::{genbench, BenchId};
+use simcxl_nic::{RpcNicModel, SerializeMode};
+
+fn bench(c: &mut Criterion) {
+    println!("== Ablation: RPC prefetcher gain per bench ==");
+    println!("  bench  | w/o prefetch (us) | w/ prefetch (us) | gain");
+    let mut gains = Vec::new();
+    for id in BenchId::all() {
+        let mut w = genbench::generate(id, 7);
+        w.messages.truncate(300);
+        let mut m = RpcNicModel::asic();
+        let no = m.serialize(&w, SerializeMode::CxlCacheNoPrefetch).total.as_us_f64();
+        let yes = m.serialize(&w, SerializeMode::CxlCachePrefetch).total.as_us_f64();
+        let gain = no / yes - 1.0;
+        gains.push(gain);
+        println!("  {:6} | {no:17.0} | {yes:16.0} | {:+5.1}%", id.label(), gain * 100.0);
+    }
+    println!(
+        "  mean gain: {:.1}% (paper: 12% average, 3.6% minimum)",
+        gains.iter().sum::<f64>() / gains.len() as f64 * 100.0
+    );
+    let mut g = c.benchmark_group("ablation_prefetch");
+    g.sample_size(10);
+    g.bench_function("prefetch_bench3", |b| {
+        b.iter(|| {
+            let mut w = genbench::generate(BenchId::Bench3, 7);
+            w.messages.truncate(20);
+            let mut m = RpcNicModel::asic();
+            m.serialize(&w, SerializeMode::CxlCachePrefetch).total
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Calibration regenerator: simulated vs paper-measured values + MAPE.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    simcxl_bench::calibration(50);
+    simcxl_bench::headline(50);
+    let mut g = c.benchmark_group("calibration");
+    g.sample_size(10);
+    g.bench_function("mape", |b| b.iter(|| cohet::experiments::calibration_mape(2)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

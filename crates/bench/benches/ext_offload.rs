@@ -1,0 +1,53 @@
+//! Extension bench (paper §VIII): KV-store GET/PUT and graph-BFS
+//! offload on the CXL vs PCIe paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cohet::extensions::{graph_offload, kvstore_offload};
+use cohet::DeviceProfile;
+use simcxl_workloads::kvstore::KvConfig;
+
+fn bench(c: &mut Criterion) {
+    let profile = DeviceProfile::fpga_400mhz();
+    println!("== Extension: KV-store / graph offload (paper §VIII) ==");
+    let kv = kvstore_offload(
+        &profile,
+        KvConfig {
+            keys: 1 << 14,
+            ops: 2000,
+            ..KvConfig::default()
+        },
+    );
+    println!(
+        "  KV GET/PUT ({} ops):   PCIe {:.1} us, CXL {:.1} us -> {:.1}x",
+        kv.ops,
+        kv.pcie.as_us_f64(),
+        kv.cxl.as_us_f64(),
+        kv.speedup()
+    );
+    let gr = graph_offload(&profile, 1024, 6);
+    println!(
+        "  BFS stream ({} accesses): PCIe {:.1} us, CXL {:.1} us -> {:.1}x",
+        gr.ops,
+        gr.pcie.as_us_f64(),
+        gr.cxl.as_us_f64(),
+        gr.speedup()
+    );
+    let mut g = c.benchmark_group("ext_offload");
+    g.sample_size(10);
+    g.bench_function("kvstore", |b| {
+        b.iter(|| {
+            kvstore_offload(
+                &profile,
+                KvConfig {
+                    keys: 1 << 10,
+                    ops: 200,
+                    ..KvConfig::default()
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Fig. 12 regenerator: CXL.cache load latency across NUMA nodes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    simcxl_bench::fig12(40);
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("numa_distribution", |b| {
+        b.iter(|| cohet::experiments::fig12(&cohet::DeviceProfile::fpga_400mhz(), 2))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Fig. 13 regenerator: latency tiers vs DMA@64 B.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    simcxl_bench::fig13(50);
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.bench_function("latency_tiers", |b| {
+        b.iter(|| cohet::experiments::fig13(&cohet::DeviceProfile::fpga_400mhz(), 2))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

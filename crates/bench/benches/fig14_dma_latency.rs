@@ -1,0 +1,16 @@
+//! Fig. 14 regenerator: DMA read latency across message sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    simcxl_bench::fig14();
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    g.bench_function("dma_latency_sweep", |b| {
+        b.iter(|| cohet::experiments::dma_sweep(&cohet::DeviceProfile::fpga_400mhz()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

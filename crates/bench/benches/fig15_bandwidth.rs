@@ -1,0 +1,16 @@
+//! Fig. 15 regenerator: bandwidth tiers vs DMA@64 B.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    simcxl_bench::fig15();
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    g.bench_function("bandwidth_tiers", |b| {
+        b.iter(|| cohet::experiments::fig15(&cohet::DeviceProfile::fpga_400mhz()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

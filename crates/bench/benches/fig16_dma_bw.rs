@@ -1,0 +1,16 @@
+//! Fig. 16 regenerator: DMA bandwidth across message sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    simcxl_bench::fig16();
+    let mut g = c.benchmark_group("fig16");
+    g.sample_size(10);
+    g.bench_function("dma_bw_sweep", |b| {
+        b.iter(|| cohet::experiments::dma_sweep(&cohet::DeviceProfile::fpga_400mhz()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

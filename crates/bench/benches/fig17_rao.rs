@@ -1,0 +1,16 @@
+//! Fig. 17 regenerator: RAO throughput speedups on CircusTent.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    simcxl_bench::fig17(1024);
+    let mut g = c.benchmark_group("fig17");
+    g.sample_size(10);
+    g.bench_function("rao_speedups", |b| {
+        b.iter(|| cohet::experiments::fig17(&cohet::DeviceProfile::fpga_400mhz(), 128))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

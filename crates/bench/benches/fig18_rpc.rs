@@ -1,0 +1,14 @@
+//! Fig. 18 regenerator: RPC (de)serialization offload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    simcxl_bench::fig18(400);
+    let mut g = c.benchmark_group("fig18");
+    g.sample_size(10);
+    g.bench_function("rpc_offload", |b| b.iter(|| cohet::experiments::fig18(20)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! `simcxl-report`: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! simcxl-report [table1|fig12|fig13|fig14|fig15|fig16|fig17|fig18|
+//!                calibration|headline|shapes|all]
+//! ```
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let run = |name: &str| {
+        match name {
+            "table1" => simcxl_bench::table1(),
+            "fig12" => simcxl_bench::fig12(200),
+            "fig13" => simcxl_bench::fig13(100),
+            "fig14" => simcxl_bench::fig14(),
+            "fig15" => simcxl_bench::fig15(),
+            "fig16" => simcxl_bench::fig16(),
+            "fig17" => simcxl_bench::fig17(2048),
+            "fig18" => simcxl_bench::fig18(0),
+            "calibration" => simcxl_bench::calibration(100),
+            "headline" => simcxl_bench::headline(100),
+            "shapes" => simcxl_bench::bench_shapes(),
+            other => {
+                eprintln!("unknown report: {other}");
+                std::process::exit(2);
+            }
+        }
+        println!();
+    };
+    if arg == "all" {
+        for name in [
+            "table1",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "calibration",
+            "headline",
+            "shapes",
+        ] {
+            run(name);
+        }
+    } else {
+        run(&arg);
+    }
+}

@@ -1,0 +1,466 @@
+//! A peer cache agent: CPU L1 or device HMC (behind its DCOH).
+//!
+//! Peer caches are privately owned by one requester (a CPU core or the
+//! device's processing elements) and kept coherent by the home agent.
+//! This module implements the cache-side of the paper's Fig. 7 flows:
+//! read-for-ownership, silent E→M modification, and dirty eviction, plus
+//! NC-P pushes and locked atomics.
+
+use crate::array::{CacheArray, Line, LineState};
+use crate::config::CacheConfig;
+use crate::msg::{AgentId, HitLevel, MemOp, Msg, MsgKind, ReqId};
+use sim_core::{Link, Tick};
+use std::collections::{HashMap, VecDeque};
+
+/// Messages and completions produced while handling one event.
+#[derive(Debug, Default)]
+pub(crate) struct Outbox {
+    /// `(arrival_tick, destination, message)`.
+    pub msgs: Vec<(Tick, AgentId, Msg)>,
+    /// `(completion_tick, request, hit_level)`.
+    pub completions: Vec<(Tick, ReqId, HitLevel)>,
+    /// Redeliver a message later (snoop deferred by a locked line).
+    pub deferred: Vec<(Tick, AgentId, Msg)>,
+}
+
+impl Outbox {
+    pub(crate) fn clear(&mut self) {
+        self.msgs.clear();
+        self.completions.clear();
+        self.deferred.clear();
+    }
+}
+
+#[derive(Debug)]
+struct Mshr {
+    /// Requests waiting on this line, in arrival order.
+    waiting: VecDeque<(ReqId, MemOp)>,
+    /// Whether we asked for ownership.
+    for_own: bool,
+    /// Whether this MSHR tracks an NC-P push rather than a fill.
+    ncp: bool,
+}
+
+#[derive(Debug)]
+struct EvictState {
+    dirty: bool,
+}
+
+/// Statistics exposed by a [`CacheAgent`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests that hit locally.
+    pub hits: u64,
+    /// Requests that missed and went to the home agent.
+    pub misses: u64,
+    /// Snoops received from the home agent.
+    pub snoops: u64,
+    /// Snoops that found a locked line and were deferred.
+    pub deferred_snoops: u64,
+    /// Lines written back via `DirtyEvict`.
+    pub writebacks: u64,
+}
+
+/// A peer cache: tag array + MSHRs + the CXL.cache request port.
+#[derive(Debug)]
+pub struct CacheAgent {
+    id: AgentId,
+    cfg: CacheConfig,
+    array: CacheArray,
+    mshrs: HashMap<u64, Mshr>,
+    evictions: HashMap<u64, EvictState>,
+    pub(crate) link: Link,
+    next_accept: Tick,
+    stats: CacheStats,
+}
+
+impl CacheAgent {
+    pub(crate) fn new(id: AgentId, cfg: CacheConfig) -> Self {
+        let link = Link::new(cfg.link);
+        let array = CacheArray::new(cfg.size_bytes, cfg.ways);
+        CacheAgent {
+            id,
+            cfg,
+            array,
+            mshrs: HashMap::new(),
+            evictions: HashMap::new(),
+            link,
+            next_accept: Tick::ZERO,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Agent id.
+    pub fn id(&self) -> AgentId {
+        self.id
+    }
+
+    /// Configuration used to build this agent.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Current line state (tests / invariant checking).
+    pub fn line_state(&self, addr: simcxl_mem::PhysAddr) -> Option<LineState> {
+        self.array.peek(addr).map(|l| l.state)
+    }
+
+    /// Installs a line in the given state without any protocol traffic
+    /// (test setup; the engine's `preload` keeps the directory in sync).
+    pub(crate) fn preload(&mut self, addr: simcxl_mem::PhysAddr, state: LineState) {
+        if self.array.peek(addr).is_none() {
+            let victim = self.array.insert(addr, state);
+            assert!(victim.is_none(), "preload evicted a line; enlarge the cache");
+        } else {
+            let line = self.array.get_mut(addr).expect("just checked");
+            line.state = state;
+        }
+        if state == LineState::Modified {
+            self.array.get_mut(addr).expect("resident").dirty = true;
+        }
+    }
+
+    /// Drops every resident line without writebacks (CLFLUSH-style test
+    /// setup; the engine resets the directory alongside).
+    pub(crate) fn clear(&mut self) {
+        self.array.clear();
+        assert!(self.mshrs.is_empty(), "clear with outstanding MSHRs");
+    }
+
+    fn send(&mut self, now: Tick, kind: MsgKind, addr: simcxl_mem::PhysAddr, out: &mut Outbox) {
+        let arrival = self.link.send(now, kind.bytes());
+        out.msgs.push((
+            arrival,
+            AgentId::HOME,
+            Msg {
+                kind,
+                addr: addr.line(),
+                from: self.id,
+            },
+        ));
+    }
+
+    /// Handles an external request arriving at `now` (already including
+    /// the requester's issue latency).
+    pub(crate) fn handle_request(
+        &mut self,
+        req: ReqId,
+        op: MemOp,
+        addr: simcxl_mem::PhysAddr,
+        now: Tick,
+        out: &mut Outbox,
+    ) {
+        let start = now.max(self.next_accept);
+        self.next_accept = start + self.cfg.accept_gap;
+        let t = start + self.cfg.lookup_latency;
+        let line_key = addr.line().raw();
+
+        if let Some(mshr) = self.mshrs.get_mut(&line_key) {
+            mshr.waiting.push_back((req, op));
+            return;
+        }
+
+        match op {
+            MemOp::NcPush { .. } => {
+                // NC-P: drop any local copy (its data is superseded by the
+                // push) and send the full line to the LLC.
+                self.array.remove(addr);
+                self.mshrs.insert(
+                    line_key,
+                    Mshr {
+                        waiting: VecDeque::from([(req, op)]),
+                        for_own: false,
+                        ncp: true,
+                    },
+                );
+                self.send(t, MsgKind::ItoMWr, addr, out);
+            }
+            MemOp::Load | MemOp::Prefetch => {
+                if let Some(line) = self.array.get_mut(addr) {
+                    let done = t.max(line.locked_until);
+                    self.stats.hits += 1;
+                    out.completions.push((done, req, HitLevel::Local));
+                } else {
+                    self.miss(req, op, addr, false, t, out);
+                }
+            }
+            MemOp::Store { .. } | MemOp::Rmw { .. } => {
+                let lock = self.cfg.rmw_lock;
+                let is_rmw = matches!(op, MemOp::Rmw { .. });
+                if let Some(line) = self.array.get_mut(addr) {
+                    if line.state.writable() {
+                        // Silent E->M upgrade (Fig. 7 phase 2).
+                        let done = t.max(line.locked_until);
+                        line.state = LineState::Modified;
+                        line.dirty = true;
+                        if is_rmw {
+                            line.locked_until = done + lock;
+                        }
+                        self.stats.hits += 1;
+                        out.completions.push((done, req, HitLevel::Local));
+                    } else {
+                        // Shared: upgrade via RdOwn.
+                        self.stats.misses += 1;
+                        self.mshrs.insert(
+                            line_key,
+                            Mshr {
+                                waiting: VecDeque::from([(req, op)]),
+                                for_own: true,
+                                ncp: false,
+                            },
+                        );
+                        self.send(t, MsgKind::RdOwn, addr, out);
+                    }
+                } else {
+                    self.miss(req, op, addr, true, t, out);
+                }
+            }
+        }
+    }
+
+    fn miss(
+        &mut self,
+        req: ReqId,
+        op: MemOp,
+        addr: simcxl_mem::PhysAddr,
+        for_own: bool,
+        t: Tick,
+        out: &mut Outbox,
+    ) {
+        self.stats.misses += 1;
+        self.mshrs.insert(
+            addr.line().raw(),
+            Mshr {
+                waiting: VecDeque::from([(req, op)]),
+                for_own,
+                ncp: false,
+            },
+        );
+        let kind = if for_own {
+            MsgKind::RdOwn
+        } else {
+            MsgKind::RdShared
+        };
+        self.send(t, kind, addr, out);
+    }
+
+    /// Handles a message from the home agent.
+    pub(crate) fn handle_msg(&mut self, msg: Msg, level: Option<HitLevel>, now: Tick, out: &mut Outbox) {
+        match msg.kind {
+            MsgKind::SnpInv => self.snoop_inv(msg, now, out),
+            MsgKind::SnpData => self.snoop_data(msg, now, out),
+            MsgKind::DataGoE => self.fill(msg.addr, LineState::Exclusive, level, now, out),
+            MsgKind::DataGoS => self.fill(msg.addr, LineState::Shared, level, now, out),
+            MsgKind::GoUpgrade => self.upgrade_grant(msg.addr, level, now, out),
+            MsgKind::GoNcp => self.ncp_done(msg.addr, level, now, out),
+            MsgKind::GoWritePull => {
+                if self.evictions.contains_key(&msg.addr.raw()) {
+                    self.stats.writebacks += 1;
+                    self.send(now, MsgKind::WbData, msg.addr, out);
+                }
+                // Stale write pull (eviction raced with an invalidating
+                // snoop): nothing to send; the home falls back on the
+                // snoop-supplied data and will GoI us.
+            }
+            MsgKind::GoI => {
+                self.evictions.remove(&msg.addr.raw());
+            }
+            other => panic!("cache {} received unexpected {:?}", self.id, other),
+        }
+    }
+
+    fn snoop_inv(&mut self, msg: Msg, now: Tick, out: &mut Outbox) {
+        self.stats.snoops += 1;
+        if let Some(line) = self.array.peek(msg.addr) {
+            if line.locked_until > now {
+                self.stats.deferred_snoops += 1;
+                out.deferred.push((line.locked_until, self.id, msg));
+                return;
+            }
+        }
+        let t = now + self.cfg.lookup_latency;
+        let dirty = if let Some(line) = self.array.remove(msg.addr) {
+            line.dirty
+        } else if let Some(ev) = self.evictions.get(&msg.addr.raw()) {
+            // The line sits in the writeback buffer: hand its data over via
+            // the snoop response; the pending DirtyEvict becomes stale.
+            ev.dirty
+        } else {
+            false
+        };
+        self.send(t, MsgKind::SnpRespInv { dirty }, msg.addr, out);
+    }
+
+    fn snoop_data(&mut self, msg: Msg, now: Tick, out: &mut Outbox) {
+        self.stats.snoops += 1;
+        if let Some(line) = self.array.peek(msg.addr) {
+            if line.locked_until > now {
+                self.stats.deferred_snoops += 1;
+                out.deferred.push((line.locked_until, self.id, msg));
+                return;
+            }
+        }
+        let t = now + self.cfg.lookup_latency;
+        let dirty = if let Some(line) = self.array.get_mut(msg.addr) {
+            let was_dirty = line.dirty;
+            line.state = LineState::Shared;
+            line.dirty = false;
+            was_dirty
+        } else if let Some(ev) = self.evictions.get(&msg.addr.raw()) {
+            ev.dirty
+        } else {
+            false
+        };
+        self.send(t, MsgKind::SnpRespDown { dirty }, msg.addr, out);
+    }
+
+    fn fill(
+        &mut self,
+        addr: simcxl_mem::PhysAddr,
+        state: LineState,
+        level: Option<HitLevel>,
+        now: Tick,
+        out: &mut Outbox,
+    ) {
+        let level = level.expect("data grant carries a hit level");
+        let key = addr.raw();
+        let mut mshr = self
+            .mshrs
+            .remove(&key)
+            .unwrap_or_else(|| panic!("fill for {addr} without MSHR"));
+        if self.array.peek(addr).is_none() {
+            if let Some(victim) = self.array.insert(addr, state) {
+                self.start_eviction(victim, now, out);
+            }
+        } else {
+            let line = self.array.get_mut(addr).expect("resident");
+            line.state = state;
+        }
+        self.drain_waiting(&mut mshr, addr, level, now, out);
+    }
+
+    fn upgrade_grant(
+        &mut self,
+        addr: simcxl_mem::PhysAddr,
+        level: Option<HitLevel>,
+        now: Tick,
+        out: &mut Outbox,
+    ) {
+        let level = level.unwrap_or(HitLevel::Llc);
+        let mut mshr = self
+            .mshrs
+            .remove(&addr.raw())
+            .unwrap_or_else(|| panic!("upgrade grant for {addr} without MSHR"));
+        if let Some(line) = self.array.get_mut(addr) {
+            line.state = LineState::Exclusive;
+        } else {
+            // Our shared copy was snooped away while the upgrade was in
+            // flight; the home should have sent data instead, but be
+            // permissive and install the line.
+            if let Some(victim) = self.array.insert(addr, LineState::Exclusive) {
+                self.start_eviction(victim, now, out);
+            }
+        }
+        self.drain_waiting(&mut mshr, addr, level, now, out);
+    }
+
+    fn ncp_done(
+        &mut self,
+        addr: simcxl_mem::PhysAddr,
+        level: Option<HitLevel>,
+        now: Tick,
+        out: &mut Outbox,
+    ) {
+        let mshr = self
+            .mshrs
+            .remove(&addr.raw())
+            .unwrap_or_else(|| panic!("GoNcp for {addr} without MSHR"));
+        debug_assert!(mshr.ncp);
+        let level = level.unwrap_or(HitLevel::Llc);
+        for (i, (req, _op)) in mshr.waiting.iter().enumerate() {
+            let done = now + self.cfg.accept_gap * i as u64;
+            out.completions.push((done, *req, level));
+        }
+    }
+
+    fn drain_waiting(
+        &mut self,
+        mshr: &mut Mshr,
+        addr: simcxl_mem::PhysAddr,
+        level: HitLevel,
+        now: Tick,
+        out: &mut Outbox,
+    ) {
+        let _ = mshr.for_own;
+        let mut t = now;
+        while let Some((req, op)) = mshr.waiting.pop_front() {
+            let line = self.array.get_mut(addr).expect("line resident during drain");
+            match op {
+                MemOp::Load | MemOp::Prefetch => {
+                    out.completions.push((t, req, level));
+                }
+                MemOp::NcPush { .. } => {
+                    // An NC-P queued behind a fill: reissue it as a fresh
+                    // request so it follows the normal push path.
+                    mshr.waiting.push_front((req, op));
+                    let remaining: VecDeque<_> = mshr.waiting.drain(..).collect();
+                    for (r, o) in remaining {
+                        self.handle_request(r, o, addr, t, out);
+                    }
+                    return;
+                }
+                MemOp::Store { .. } | MemOp::Rmw { .. } => {
+                    if line.state.writable() {
+                        line.state = LineState::Modified;
+                        line.dirty = true;
+                        if matches!(op, MemOp::Rmw { .. }) {
+                            line.locked_until = t + self.cfg.rmw_lock;
+                        }
+                        out.completions.push((t, req, level));
+                    } else {
+                        // Only S was granted but this op needs ownership:
+                        // put it back and upgrade.
+                        mshr.waiting.push_front((req, op));
+                        let waiting = mshr.waiting.drain(..).collect();
+                        self.mshrs.insert(
+                            addr.raw(),
+                            Mshr {
+                                waiting,
+                                for_own: true,
+                                ncp: false,
+                            },
+                        );
+                        self.send(t, MsgKind::RdOwn, addr, out);
+                        return;
+                    }
+                }
+            }
+            t += self.cfg.accept_gap;
+        }
+    }
+
+    fn start_eviction(&mut self, victim: Line, now: Tick, out: &mut Outbox) {
+        if victim.dirty || victim.state == LineState::Modified {
+            self.evictions
+                .insert(victim.addr.raw(), EvictState { dirty: true });
+            self.send(now, MsgKind::DirtyEvict, victim.addr, out);
+        } else {
+            self.send(now, MsgKind::CleanEvict, victim.addr, out);
+        }
+    }
+
+    /// Lines currently resident (for invariant checking).
+    pub(crate) fn resident_lines(&self) -> impl Iterator<Item = &Line> {
+        self.array.iter()
+    }
+
+    /// Whether the agent has any outstanding transactions.
+    pub(crate) fn is_quiescent(&self) -> bool {
+        self.mshrs.is_empty() && self.evictions.is_empty()
+    }
+}

@@ -1,0 +1,807 @@
+//! The protocol engine: event loop, memory agent, functional memory and
+//! invariant checking.
+
+use crate::array::LineState;
+use crate::cache::{CacheAgent, CacheStats, Outbox};
+use crate::config::{CacheConfig, EngineConfig, HomeConfig};
+use crate::funcmem::FuncMem;
+use crate::home::{DirEntry, HomeAgent, HomeOutbox, HomeStats};
+use crate::msg::{AgentId, HitLevel, MemOp, Msg, MsgKind, ReqId};
+use simcxl_mem::{AddrRange, DramConfig, DramKind, MemoryInterface, PhysAddr};
+use sim_core::{EventQueue, Link, SimRng, Tick};
+use std::collections::HashMap;
+
+pub use crate::msg::Completion;
+
+#[derive(Debug)]
+enum Ev {
+    /// An external request reaches its cache agent.
+    Issue { req: ReqId },
+    /// A protocol message arrives at `dst`. `level` piggybacks the hit
+    /// classification on data grants.
+    Deliver {
+        dst: AgentId,
+        msg: Msg,
+        level: Option<HitLevel>,
+    },
+    /// A request completes at its cache agent.
+    Complete {
+        req: ReqId,
+        level: HitLevel,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    agent: AgentId,
+    op: MemOp,
+    addr: PhysAddr,
+    issued: Tick,
+}
+
+/// Memory-side agent: bridges `MemRd`/`MemWr` to a [`MemoryInterface`].
+#[derive(Debug)]
+struct MemAgent {
+    mi: MemoryInterface,
+    link: Link,
+    front_latency: Tick,
+    /// Additional per-line latency by NUMA distance, applied when the
+    /// line's address falls into the node's range (Fig. 12).
+    numa_extra: Vec<(AddrRange, Tick)>,
+}
+
+impl MemAgent {
+    fn extra_for(&self, addr: PhysAddr) -> Tick {
+        self.numa_extra
+            .iter()
+            .find(|(r, _)| r.contains(addr))
+            .map(|&(_, t)| t)
+            .unwrap_or(Tick::ZERO)
+    }
+}
+
+/// Builder for [`ProtocolEngine`].
+#[derive(Debug, Default)]
+pub struct ProtocolEngineBuilder {
+    config: EngineConfig,
+    memory: Option<MemoryInterface>,
+    jitter_ns: Option<(u64, f64)>,
+}
+
+impl ProtocolEngineBuilder {
+    /// Sets the home-agent configuration.
+    pub fn home(mut self, home: HomeConfig) -> Self {
+        self.config.home = home;
+        self
+    }
+
+    /// Attaches a custom memory interface (defaults to 32 GB of
+    /// DDR5-4400 starting at physical address 0, matching Table I).
+    pub fn memory(mut self, mi: MemoryInterface) -> Self {
+        self.memory = Some(mi);
+        self
+    }
+
+    /// Adds Gaussian latency jitter (standard deviation in nanoseconds)
+    /// to every request issue, seeded deterministically. Models the
+    /// run-to-run spread visible in the paper's box plots.
+    pub fn jitter_ns(mut self, seed: u64, stddev_ns: f64) -> Self {
+        self.jitter_ns = Some((seed, stddev_ns));
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> ProtocolEngine {
+        let mi = self.memory.unwrap_or_else(|| {
+            let mut mi = MemoryInterface::new();
+            mi.add_memory(
+                AddrRange::new(PhysAddr::new(0), 32 << 30),
+                DramConfig::preset(DramKind::Ddr5_4400),
+                Tick::ZERO,
+            );
+            mi
+        });
+        let home_cfg = self.config.home.clone();
+        ProtocolEngine {
+            queue: EventQueue::new(),
+            now: Tick::ZERO,
+            home: HomeAgent::new(home_cfg.clone()),
+            mem: MemAgent {
+                mi,
+                link: Link::new(home_cfg.mem_link),
+                front_latency: home_cfg.mem_front_latency,
+                numa_extra: Vec::new(),
+            },
+            caches: Vec::new(),
+            requests: HashMap::new(),
+            next_req: 0,
+            func: FuncMem::new(),
+            completions: Vec::new(),
+            jitter: self.jitter_ns.map(|(seed, sd)| (SimRng::new(seed), sd)),
+            outbox: Outbox::default(),
+            home_outbox: HomeOutbox::default(),
+        }
+    }
+}
+
+/// The event-driven coherence protocol engine.
+///
+/// See the [crate docs](crate) for the protocol description and an
+/// end-to-end example.
+#[derive(Debug)]
+pub struct ProtocolEngine {
+    queue: EventQueue<Ev>,
+    now: Tick,
+    home: HomeAgent,
+    mem: MemAgent,
+    caches: Vec<CacheAgent>,
+    requests: HashMap<ReqId, Request>,
+    next_req: u64,
+    func: FuncMem,
+    completions: Vec<Completion>,
+    jitter: Option<(SimRng, f64)>,
+    outbox: Outbox,
+    home_outbox: HomeOutbox,
+}
+
+impl ProtocolEngine {
+    /// Starts building an engine.
+    pub fn builder() -> ProtocolEngineBuilder {
+        ProtocolEngineBuilder::default()
+    }
+
+    /// Attaches a peer cache and returns its id.
+    pub fn add_cache(&mut self, cfg: CacheConfig) -> AgentId {
+        let id = AgentId(2 + self.caches.len());
+        self.home.add_cache_link(cfg.link);
+        self.caches.push(CacheAgent::new(id, cfg));
+        id
+    }
+
+    /// Registers an extra per-access latency for addresses in `range`
+    /// (NUMA hop modelling for Fig. 12).
+    pub fn add_numa_extra(&mut self, range: AddrRange, extra: Tick) {
+        self.mem.numa_extra.push((range, extra));
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// The functional memory (for seeding workload data).
+    pub fn func_mem(&mut self) -> &mut FuncMem {
+        &mut self.func
+    }
+
+    /// Per-cache statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` is not a cache agent of this engine.
+    pub fn cache_stats(&self, agent: AgentId) -> CacheStats {
+        self.caches[agent.index() - 2].stats()
+    }
+
+    /// Home-agent statistics.
+    pub fn home_stats(&self) -> HomeStats {
+        self.home.stats()
+    }
+
+    /// Line state at a given cache (tests).
+    pub fn line_state(&self, agent: AgentId, addr: PhysAddr) -> Option<LineState> {
+        self.caches[agent.index() - 2].line_state(addr)
+    }
+
+    /// Directory entry at the home agent (tests).
+    pub fn dir_entry(&self, addr: PhysAddr) -> Option<&DirEntry> {
+        self.home.dir_entry(addr)
+    }
+
+    /// Issues an external request; returns its id. The request reaches
+    /// the cache after the agent's configured issue latency (plus jitter,
+    /// if enabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past or `agent` is not a cache.
+    pub fn issue(&mut self, agent: AgentId, op: MemOp, addr: PhysAddr, at: Tick) -> ReqId {
+        assert!(at >= self.now, "issue at {at} before now {}", self.now);
+        assert!(agent.index() >= 2, "can only issue to cache agents");
+        let req = ReqId(self.next_req);
+        self.next_req += 1;
+        let mut delay = self.caches[agent.index() - 2].config().issue_latency;
+        if let Some((rng, sd)) = &mut self.jitter {
+            let j = rng.normal(0.0, *sd).max(0.0);
+            delay += Tick::from_ns_f64(j);
+        }
+        self.requests.insert(
+            req,
+            Request {
+                agent,
+                op,
+                addr,
+                issued: at,
+            },
+        );
+        self.queue.push(at + delay, Ev::Issue { req });
+        req
+    }
+
+    /// Time of the next pending event.
+    pub fn next_event(&self) -> Option<Tick> {
+        self.queue.peek_tick()
+    }
+
+    /// Runs until the queue is exhausted; returns completions in
+    /// completion order.
+    pub fn run_to_quiescence(&mut self) -> Vec<Completion> {
+        self.run_until(Tick::MAX)
+    }
+
+    /// Runs all events up to and including `t`; returns completions.
+    pub fn run_until(&mut self, t: Tick) -> Vec<Completion> {
+        while let Some(next) = self.queue.peek_tick() {
+            if next > t {
+                break;
+            }
+            let (tick, ev) = self.queue.pop().expect("peeked");
+            debug_assert!(tick >= self.now, "time went backwards");
+            self.now = tick;
+            self.dispatch(ev);
+        }
+        if t != Tick::MAX && t > self.now {
+            self.now = t;
+        }
+        std::mem::take(&mut self.completions)
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Issue { req } => {
+                let r = self.requests[&req];
+                let idx = r.agent.index() - 2;
+                let mut out = std::mem::take(&mut self.outbox);
+                out.clear();
+                self.caches[idx].handle_request(req, r.op, r.addr, self.now, &mut out);
+                self.drain_cache_outbox(out);
+            }
+            Ev::Deliver { dst, msg, level } => {
+                if dst == AgentId::HOME {
+                    let mut out = std::mem::take(&mut self.home_outbox);
+                    out.msgs.clear();
+                    self.home.handle_msg(msg, self.now, &mut out);
+                    self.drain_home_outbox(out);
+                } else if dst == AgentId::MEMORY {
+                    self.handle_mem(msg);
+                } else {
+                    let idx = dst.index() - 2;
+                    let mut out = std::mem::take(&mut self.outbox);
+                    out.clear();
+                    self.caches[idx].handle_msg(msg, level, self.now, &mut out);
+                    self.drain_cache_outbox(out);
+                }
+            }
+            Ev::Complete { req, level } => {
+                let r = self
+                    .requests
+                    .remove(&req)
+                    .expect("completion for unknown request");
+                let value = match r.op {
+                    MemOp::Load | MemOp::Prefetch => self.func.read_u64(r.addr),
+                    MemOp::Store { value } => {
+                        self.func.write_u64(r.addr, value);
+                        value
+                    }
+                    MemOp::NcPush { value } => {
+                        self.func.write_u64(r.addr, value);
+                        value
+                    }
+                    MemOp::Rmw {
+                        kind,
+                        operand,
+                        operand2,
+                    } => self.func.rmw(r.addr, kind, operand, operand2),
+                };
+                self.completions.push(Completion {
+                    req,
+                    agent: r.agent,
+                    addr: r.addr,
+                    op: r.op,
+                    issued: r.issued,
+                    done: self.now,
+                    level,
+                    value,
+                });
+            }
+        }
+    }
+
+    fn drain_cache_outbox(&mut self, mut out: Outbox) {
+        for (tick, dst, msg) in out.msgs.drain(..) {
+            self.queue.push(
+                tick,
+                Ev::Deliver {
+                    dst,
+                    msg,
+                    level: None,
+                },
+            );
+        }
+        for (tick, req, level) in out.completions.drain(..) {
+            self.queue.push(tick, Ev::Complete { req, level });
+        }
+        for (tick, dst, msg) in out.deferred.drain(..) {
+            self.queue.push(
+                tick,
+                Ev::Deliver {
+                    dst,
+                    msg,
+                    level: None,
+                },
+            );
+        }
+        self.outbox = out;
+    }
+
+    fn drain_home_outbox(&mut self, mut out: HomeOutbox) {
+        for (tick, dst, msg, level) in out.msgs.drain(..) {
+            self.queue.push(tick, Ev::Deliver { dst, msg, level });
+        }
+        self.home_outbox = out;
+    }
+
+    fn handle_mem(&mut self, msg: Msg) {
+        let extra = self.mem.extra_for(msg.addr);
+        match msg.kind {
+            MsgKind::MemRd => {
+                let start = self.now + self.mem.front_latency + extra;
+                let done = self
+                    .mem
+                    .mi
+                    .read(start, msg.addr, simcxl_mem::CACHELINE_BYTES)
+                    .unwrap_or_else(|| panic!("no memory claims {}", msg.addr));
+                let arrival = self.mem.link.send(done + extra, MsgKind::MemData.bytes());
+                self.queue.push(
+                    arrival,
+                    Ev::Deliver {
+                        dst: AgentId::HOME,
+                        msg: Msg {
+                            kind: MsgKind::MemData,
+                            addr: msg.addr,
+                            from: AgentId::MEMORY,
+                        },
+                        level: None,
+                    },
+                );
+            }
+            MsgKind::MemWr => {
+                let start = self.now + self.mem.front_latency + extra;
+                let _ = self
+                    .mem
+                    .mi
+                    .write(start, msg.addr, simcxl_mem::CACHELINE_BYTES);
+            }
+            other => panic!("memory agent received {:?}", other),
+        }
+    }
+
+    /// Installs a line in a cache *and* the directory so tests and
+    /// CLDEMOTE/CLFLUSH-style experiment setups can place data without
+    /// protocol traffic.
+    pub fn preload(&mut self, agent: AgentId, addr: PhysAddr, state: LineState) {
+        let idx = agent.index() - 2;
+        self.caches[idx].preload(addr, state);
+        let mut entry = self
+            .home
+            .dir_entry(addr)
+            .cloned()
+            .unwrap_or_default();
+        match state {
+            LineState::Modified | LineState::Exclusive => {
+                entry.owner = Some(agent);
+                entry.sharers.clear();
+            }
+            LineState::Shared => {
+                entry.sharers.insert(agent);
+            }
+        }
+        self.home.preload(addr, entry);
+    }
+
+    /// Installs a line only at the LLC (CLDEMOTE analog: data demoted from
+    /// a core cache into the LLC).
+    pub fn preload_llc(&mut self, addr: PhysAddr) {
+        self.home.preload(addr, DirEntry::default());
+    }
+
+    /// Removes a line everywhere (CLFLUSH analog). The line must be idle.
+    pub fn flush_line(&mut self, addr: PhysAddr) {
+        for c in &mut self.caches {
+            let _ = c.line_state(addr); // no-op; lines removed below
+        }
+        self.home.flush_line(addr);
+    }
+
+    /// Drops all cached state so the next access goes to memory
+    /// (whole-cache CLFLUSH; test setup only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any transaction is outstanding.
+    pub fn flush_all(&mut self) {
+        for c in &mut self.caches {
+            c.clear();
+        }
+        self.home.clear();
+    }
+
+    /// Whether all agents are idle and the event queue is empty.
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty()
+            && self.home.is_quiescent()
+            && self.caches.iter().all(|c| c.is_quiescent())
+    }
+
+    /// Checks the single-writer/multiple-reader and directory-consistency
+    /// invariants; call at quiescence.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant.
+    pub fn verify_invariants(&self) {
+        assert!(self.is_quiescent(), "verify_invariants before quiescence");
+        // Cache -> directory direction.
+        for c in &self.caches {
+            for line in c.resident_lines() {
+                let entry = self.home.dir_entry(line.addr).unwrap_or_else(|| {
+                    panic!("cache {} holds {} but no directory entry", c.id(), line.addr)
+                });
+                match line.state {
+                    LineState::Modified | LineState::Exclusive => {
+                        assert_eq!(
+                            entry.owner,
+                            Some(c.id()),
+                            "line {} is {:?} at {} but directory owner is {:?}",
+                            line.addr,
+                            line.state,
+                            c.id(),
+                            entry.owner
+                        );
+                    }
+                    LineState::Shared => {
+                        assert!(
+                            entry.sharers.contains(&c.id()),
+                            "line {} is S at {} but absent from sharer vector",
+                            line.addr,
+                            c.id()
+                        );
+                    }
+                }
+            }
+        }
+        // Directory -> cache direction plus SWMR.
+        for (key, entry) in self.home.dir_iter() {
+            let addr = PhysAddr::new(key);
+            assert!(
+                entry.owner.is_none() || entry.sharers.is_empty(),
+                "line {addr} has both an owner and sharers"
+            );
+            if let Some(owner) = entry.owner {
+                let state = self.caches[owner.index() - 2].line_state(addr);
+                assert!(
+                    matches!(state, Some(LineState::Modified | LineState::Exclusive)),
+                    "directory says {owner} owns {addr} but cache state is {state:?}"
+                );
+            }
+            for sharer in &entry.sharers {
+                let state = self.caches[sharer.index() - 2].line_state(addr);
+                assert_eq!(
+                    state,
+                    Some(LineState::Shared),
+                    "directory says {sharer} shares {addr}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::funcmem::AtomicKind;
+
+    fn engine() -> (ProtocolEngine, AgentId, AgentId) {
+        let mut eng = ProtocolEngine::builder().build();
+        let cpu = eng.add_cache(CacheConfig::cpu_l1());
+        let hmc = eng.add_cache(CacheConfig::hmc_128k());
+        (eng, cpu, hmc)
+    }
+
+    fn one(eng: &mut ProtocolEngine, agent: AgentId, op: MemOp, addr: u64, at: Tick) -> Completion {
+        let id = eng.issue(agent, op, PhysAddr::new(addr), at);
+        let done = eng.run_to_quiescence();
+        done.into_iter().find(|c| c.req == id).expect("completed")
+    }
+
+    #[test]
+    fn cold_load_hits_memory() {
+        let (mut eng, cpu, _) = engine();
+        let c = one(&mut eng, cpu, MemOp::Load, 0x1000, Tick::ZERO);
+        assert_eq!(c.level, HitLevel::Mem);
+        assert_eq!(c.value, 0);
+        eng.verify_invariants();
+    }
+
+    #[test]
+    fn second_load_hits_locally() {
+        let (mut eng, cpu, _) = engine();
+        one(&mut eng, cpu, MemOp::Load, 0x1000, Tick::ZERO);
+        let t = eng.now() + Tick::from_ns(1);
+        let c = one(&mut eng, cpu, MemOp::Load, 0x1000, t);
+        assert_eq!(c.level, HitLevel::Local);
+        assert!(c.latency() < Tick::from_ns(20));
+        eng.verify_invariants();
+    }
+
+    #[test]
+    fn store_then_load_round_trip() {
+        let (mut eng, cpu, hmc) = engine();
+        one(&mut eng, cpu, MemOp::Store { value: 77 }, 0x2000, Tick::ZERO);
+        let t = eng.now() + Tick::from_ns(1);
+        let c = one(&mut eng, hmc, MemOp::Load, 0x2000, t);
+        assert_eq!(c.value, 77);
+        assert_eq!(c.level, HitLevel::Peer);
+        eng.verify_invariants();
+        // CPU downgraded to S, HMC has S.
+        assert_eq!(eng.line_state(cpu, PhysAddr::new(0x2000)), Some(LineState::Shared));
+        assert_eq!(eng.line_state(hmc, PhysAddr::new(0x2000)), Some(LineState::Shared));
+    }
+
+    #[test]
+    fn rdown_invalidates_peer() {
+        let (mut eng, cpu, hmc) = engine();
+        one(&mut eng, cpu, MemOp::Store { value: 1 }, 0x3000, Tick::ZERO);
+        let t = eng.now() + Tick::from_ns(1);
+        let c = one(&mut eng, hmc, MemOp::Store { value: 2 }, 0x3000, t);
+        assert_eq!(c.level, HitLevel::Peer);
+        assert_eq!(eng.line_state(cpu, PhysAddr::new(0x3000)), None);
+        assert_eq!(
+            eng.line_state(hmc, PhysAddr::new(0x3000)),
+            Some(LineState::Modified)
+        );
+        let t2 = eng.now() + Tick::from_ns(1);
+        let c2 = one(&mut eng, cpu, MemOp::Load, 0x3000, t2);
+        assert_eq!(c2.value, 2);
+        eng.verify_invariants();
+    }
+
+    #[test]
+    fn shared_upgrade_uses_go_without_data() {
+        let (mut eng, cpu, hmc) = engine();
+        // Both read the line -> S everywhere.
+        one(&mut eng, cpu, MemOp::Load, 0x4000, Tick::ZERO);
+        let t = eng.now() + Tick::from_ns(1);
+        one(&mut eng, hmc, MemOp::Load, 0x4000, t);
+        let t = eng.now() + Tick::from_ns(1);
+        // CPU upgrades.
+        let c = one(&mut eng, cpu, MemOp::Store { value: 5 }, 0x4000, t);
+        assert_eq!(c.level, HitLevel::Llc);
+        assert_eq!(eng.line_state(hmc, PhysAddr::new(0x4000)), None);
+        assert_eq!(
+            eng.line_state(cpu, PhysAddr::new(0x4000)),
+            Some(LineState::Modified)
+        );
+        eng.verify_invariants();
+    }
+
+    #[test]
+    fn rmw_is_atomic_and_returns_old() {
+        let (mut eng, cpu, _) = engine();
+        eng.func_mem().write_u64(PhysAddr::new(0x5000), 10);
+        let c = one(
+            &mut eng,
+            cpu,
+            MemOp::Rmw {
+                kind: AtomicKind::FetchAdd,
+                operand: 5,
+                operand2: 0,
+            },
+            0x5000,
+            Tick::ZERO,
+        );
+        assert_eq!(c.value, 10);
+        assert_eq!(eng.func_mem().read_u64(PhysAddr::new(0x5000)), 15);
+    }
+
+    #[test]
+    fn contended_atomics_sum_correctly() {
+        let (mut eng, cpu, hmc) = engine();
+        let addr = PhysAddr::new(0x6000);
+        let mut t = Tick::ZERO;
+        for _ in 0..50 {
+            eng.issue(
+                cpu,
+                MemOp::Rmw {
+                    kind: AtomicKind::FetchAdd,
+                    operand: 1,
+                    operand2: 0,
+                },
+                addr,
+                t,
+            );
+            eng.issue(
+                hmc,
+                MemOp::Rmw {
+                    kind: AtomicKind::FetchAdd,
+                    operand: 1,
+                    operand2: 0,
+                },
+                addr,
+                t,
+            );
+            t += Tick::from_ns(50);
+        }
+        let done = eng.run_to_quiescence();
+        assert_eq!(done.len(), 100);
+        assert_eq!(eng.func_mem().read_u64(addr), 100);
+        eng.verify_invariants();
+    }
+
+    #[test]
+    fn ncp_pushes_line_to_llc_and_invalidates_locally() {
+        let (mut eng, cpu, hmc) = engine();
+        let addr = PhysAddr::new(0x7000);
+        let c = one(&mut eng, hmc, MemOp::NcPush { value: 9 }, 0x7000, Tick::ZERO);
+        assert_eq!(c.level, HitLevel::Llc);
+        assert_eq!(eng.line_state(hmc, addr), None);
+        assert!(eng.dir_entry(addr).is_some());
+        // CPU load now hits the LLC, not memory.
+        let t = eng.now() + Tick::from_ns(1);
+        let c2 = one(&mut eng, cpu, MemOp::Load, 0x7000, t);
+        assert_eq!(c2.value, 9);
+        assert_eq!(c2.level, HitLevel::Llc);
+        eng.verify_invariants();
+    }
+
+    #[test]
+    fn ncp_invalidates_peer_copies() {
+        let (mut eng, cpu, hmc) = engine();
+        one(&mut eng, cpu, MemOp::Store { value: 1 }, 0x8000, Tick::ZERO);
+        let t = eng.now() + Tick::from_ns(1);
+        let c = one(&mut eng, hmc, MemOp::NcPush { value: 2 }, 0x8000, t);
+        assert_eq!(eng.line_state(cpu, PhysAddr::new(0x8000)), None);
+        assert_eq!(c.value, 2);
+        let t = eng.now() + Tick::from_ns(1);
+        let c2 = one(&mut eng, cpu, MemOp::Load, 0x8000, t);
+        assert_eq!(c2.value, 2);
+        eng.verify_invariants();
+    }
+
+    #[test]
+    fn preload_llc_makes_llc_hits() {
+        let (mut eng, _, hmc) = engine();
+        eng.preload_llc(PhysAddr::new(0x9000));
+        let c = one(&mut eng, hmc, MemOp::Load, 0x9000, Tick::ZERO);
+        assert_eq!(c.level, HitLevel::Llc);
+    }
+
+    #[test]
+    fn preload_local_makes_local_hits() {
+        let (mut eng, _, hmc) = engine();
+        eng.preload(hmc, PhysAddr::new(0xa000), LineState::Exclusive);
+        eng.verify_invariants();
+        let c = one(&mut eng, hmc, MemOp::Load, 0xa000, Tick::ZERO);
+        assert_eq!(c.level, HitLevel::Local);
+    }
+
+    #[test]
+    fn latency_tiers_are_ordered() {
+        let (mut eng, _, hmc) = engine();
+        eng.preload(hmc, PhysAddr::new(0x100), LineState::Exclusive);
+        eng.preload_llc(PhysAddr::new(0x200));
+        let local = one(&mut eng, hmc, MemOp::Load, 0x100, Tick::ZERO).latency();
+        let t = eng.now() + Tick::from_ns(1);
+        let llc = one(&mut eng, hmc, MemOp::Load, 0x200, t).latency();
+        let t = eng.now() + Tick::from_ns(1);
+        let mem = one(&mut eng, hmc, MemOp::Load, 0x300, t).latency();
+        assert!(local < llc, "local {local} !< llc {llc}");
+        assert!(llc < mem, "llc {llc} !< mem {mem}");
+    }
+
+    #[test]
+    fn coalesced_requests_complete_in_order() {
+        let (mut eng, cpu, _) = engine();
+        let addr = PhysAddr::new(0xb000);
+        let r1 = eng.issue(cpu, MemOp::Load, addr, Tick::ZERO);
+        let r2 = eng.issue(cpu, MemOp::Store { value: 3 }, addr, Tick::from_ps(100));
+        let r3 = eng.issue(cpu, MemOp::Load, addr, Tick::from_ps(200));
+        let done = eng.run_to_quiescence();
+        assert_eq!(done.len(), 3);
+        let pos = |r: ReqId| done.iter().position(|c| c.req == r).unwrap();
+        assert!(pos(r1) < pos(r2));
+        assert!(pos(r2) < pos(r3));
+        assert_eq!(done[pos(r3)].value, 3);
+        eng.verify_invariants();
+    }
+
+    #[test]
+    fn capacity_evictions_write_back() {
+        let mut eng = ProtocolEngine::builder().build();
+        // A tiny 8-line direct-mapped-ish cache to force evictions.
+        let cfg = CacheConfig {
+            size_bytes: 8 * 64,
+            ways: 2,
+            ..CacheConfig::cpu_l1()
+        };
+        let c = eng.add_cache(cfg);
+        // Write 64 distinct lines: far more than capacity.
+        let mut t = Tick::ZERO;
+        for i in 0..64u64 {
+            eng.issue(c, MemOp::Store { value: i }, PhysAddr::new(i * 64), t);
+            t += Tick::from_ns(200);
+        }
+        let done = eng.run_to_quiescence();
+        assert_eq!(done.len(), 64);
+        eng.verify_invariants();
+        // All values readable back.
+        let mut t = eng.now() + Tick::from_ns(1);
+        let mut ids = Vec::new();
+        for i in 0..64u64 {
+            ids.push(eng.issue(c, MemOp::Load, PhysAddr::new(i * 64), t));
+            t += Tick::from_ns(200);
+        }
+        let done = eng.run_to_quiescence();
+        for (i, id) in ids.iter().enumerate() {
+            let c = done.iter().find(|c| c.req == *id).unwrap();
+            assert_eq!(c.value, i as u64);
+        }
+        eng.verify_invariants();
+    }
+
+    #[test]
+    fn numa_extra_latency_applies() {
+        let mut mi = MemoryInterface::new();
+        mi.add_memory(
+            AddrRange::new(PhysAddr::new(0), 1 << 30),
+            DramConfig::preset(DramKind::Ddr5_4400),
+            Tick::ZERO,
+        );
+        mi.add_memory(
+            AddrRange::new(PhysAddr::new(1 << 30), 1 << 30),
+            DramConfig::preset(DramKind::Ddr5_4400),
+            Tick::ZERO,
+        );
+        let mut eng = ProtocolEngine::builder().memory(mi).build();
+        let hmc = eng.add_cache(CacheConfig::hmc_128k());
+        eng.add_numa_extra(
+            AddrRange::new(PhysAddr::new(1 << 30), 1 << 30),
+            Tick::from_ns(44),
+        );
+        let near = one(&mut eng, hmc, MemOp::Load, 0x100, Tick::ZERO).latency();
+        let t = eng.now() + Tick::from_ns(1);
+        let far = one(&mut eng, hmc, MemOp::Load, (1 << 30) + 0x100, t).latency();
+        assert!(far > near + Tick::from_ns(80), "far {far} vs near {near}");
+    }
+
+    #[test]
+    fn jitter_spreads_latencies() {
+        let mut eng = ProtocolEngine::builder().jitter_ns(9, 5.0).build();
+        let hmc = eng.add_cache(CacheConfig::hmc_128k());
+        let mut latencies = Vec::new();
+        let mut t = Tick::ZERO;
+        for i in 0..64u64 {
+            eng.preload(hmc, PhysAddr::new(i * 64), LineState::Exclusive);
+        }
+        for i in 0..64u64 {
+            eng.issue(hmc, MemOp::Load, PhysAddr::new(i * 64), t);
+            t += Tick::from_us(1);
+        }
+        for c in eng.run_to_quiescence() {
+            latencies.push(c.latency());
+        }
+        let min = latencies.iter().min().unwrap();
+        let max = latencies.iter().max().unwrap();
+        assert!(*max > *min, "jitter produced identical latencies");
+    }
+}

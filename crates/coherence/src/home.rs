@@ -1,0 +1,583 @@
+//! The home agent: shared LLC with an embedded directory.
+//!
+//! Mirrors SimCXL's Ruby home agent: "The metadata of each LLC cacheline
+//! embeds directory information for coherence management, including a
+//! CacheState field ..., an ID field tracking the exclusive holder, and a
+//! bit vector recording all sharers" (paper §IV-B2). The home agent
+//! serializes transactions per line; requests that hit a busy line queue
+//! and replay in arrival order.
+
+use crate::config::HomeConfig;
+use crate::msg::{AgentId, HitLevel, Msg, MsgKind};
+use sim_core::{Link, Tick};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Directory entry embedded in an LLC line.
+#[derive(Debug, Clone, Default)]
+pub struct DirEntry {
+    /// Exclusive holder (E or M at the peer), if any.
+    pub owner: Option<AgentId>,
+    /// Peers holding the line in S.
+    pub sharers: BTreeSet<AgentId>,
+    /// Whether the LLC copy is newer than memory.
+    pub dirty: bool,
+}
+
+#[derive(Debug)]
+enum HomeTx {
+    /// Waiting for `MemData`.
+    Fetch { requester: AgentId },
+    /// Waiting for snoop responses.
+    Collect {
+        requester: AgentId,
+        for_own: bool,
+        pending: usize,
+        dirty_seen: bool,
+        /// Requester already holds the line in S (ownership upgrade).
+        upgrade: bool,
+        /// Collecting on behalf of an NC-P push.
+        ncp: bool,
+    },
+    /// Waiting for `WbData` from an evictor.
+    WritePull { evictor: AgentId },
+}
+
+/// Statistics exposed by the [`HomeAgent`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HomeStats {
+    /// Requests served from the LLC without memory or snoops.
+    pub llc_hits: u64,
+    /// Requests requiring a memory fetch.
+    pub mem_fetches: u64,
+    /// Snoop messages sent.
+    pub snoops_sent: u64,
+    /// Writebacks pulled from peers.
+    pub write_pulls: u64,
+    /// NC-P pushes absorbed.
+    pub ncp_pushes: u64,
+}
+
+/// The shared-LLC home agent.
+#[derive(Debug)]
+pub struct HomeAgent {
+    cfg: HomeConfig,
+    dir: HashMap<u64, DirEntry>,
+    busy: HashMap<u64, HomeTx>,
+    pending: HashMap<u64, VecDeque<(AgentId, MsgKind)>>,
+    /// Links to each peer cache, indexed by `AgentId.index() - 2`.
+    links: Vec<Link>,
+    mem_link: Link,
+    next_serve: Tick,
+    stats: HomeStats,
+}
+
+/// Outgoing traffic produced by the home agent.
+#[derive(Debug, Default)]
+pub(crate) struct HomeOutbox {
+    pub msgs: Vec<(Tick, AgentId, Msg, Option<HitLevel>)>,
+}
+
+impl HomeAgent {
+    pub(crate) fn new(cfg: HomeConfig) -> Self {
+        let mem_link = Link::new(cfg.mem_link);
+        HomeAgent {
+            cfg,
+            dir: HashMap::new(),
+            busy: HashMap::new(),
+            pending: HashMap::new(),
+            links: Vec::new(),
+            mem_link,
+            next_serve: Tick::ZERO,
+            stats: HomeStats::default(),
+        }
+    }
+
+    pub(crate) fn add_cache_link(&mut self, cfg: sim_core::LinkConfig) {
+        self.links.push(Link::new(cfg));
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> HomeStats {
+        self.stats
+    }
+
+    /// Directory entry for a line (tests / invariant checking).
+    pub fn dir_entry(&self, addr: simcxl_mem::PhysAddr) -> Option<&DirEntry> {
+        self.dir.get(&addr.line().raw())
+    }
+
+    /// Iterates over `(line_address, entry)` pairs.
+    pub(crate) fn dir_iter(&self) -> impl Iterator<Item = (u64, &DirEntry)> {
+        self.dir.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Installs a directory entry (engine preload helper).
+    pub(crate) fn preload(&mut self, addr: simcxl_mem::PhysAddr, entry: DirEntry) {
+        self.dir.insert(addr.line().raw(), entry);
+    }
+
+    /// Removes a line entirely (CLFLUSH analog; caller must have
+    /// invalidated peers).
+    pub(crate) fn flush_line(&mut self, addr: simcxl_mem::PhysAddr) {
+        let key = addr.line().raw();
+        assert!(!self.busy.contains_key(&key), "flush of a busy line");
+        self.dir.remove(&key);
+    }
+
+    /// Clears all directory state (test setup).
+    pub(crate) fn clear(&mut self) {
+        assert!(self.busy.is_empty(), "clear with busy transactions");
+        self.dir.clear();
+    }
+
+    pub(crate) fn is_quiescent(&self) -> bool {
+        self.busy.is_empty() && self.pending.values().all(VecDeque::is_empty)
+    }
+
+    fn send_to_cache(
+        &mut self,
+        now: Tick,
+        dst: AgentId,
+        kind: MsgKind,
+        addr: simcxl_mem::PhysAddr,
+        level: Option<HitLevel>,
+        out: &mut HomeOutbox,
+    ) {
+        let link = &mut self.links[dst.index() - 2];
+        let arrival = link.send(now, kind.bytes());
+        out.msgs.push((
+            arrival,
+            dst,
+            Msg {
+                kind,
+                addr,
+                from: AgentId::HOME,
+            },
+            level,
+        ));
+    }
+
+    fn send_to_mem(&mut self, now: Tick, kind: MsgKind, addr: simcxl_mem::PhysAddr, out: &mut HomeOutbox) {
+        let arrival = self.mem_link.send(now, kind.bytes());
+        out.msgs.push((
+            arrival,
+            AgentId::MEMORY,
+            Msg {
+                kind,
+                addr,
+                from: AgentId::HOME,
+            },
+            None,
+        ));
+    }
+
+    /// Handles any message arriving at the home agent.
+    ///
+    /// Channel *requests* pass through the serialized coherence-check
+    /// pipeline (the `serve_gap` occupancy responsible for the paper's
+    /// LLC/mem-hit bandwidth degradation, §VI-C1); data responses refill
+    /// through a dedicated port with the shorter `refill_latency`.
+    pub(crate) fn handle_msg(&mut self, msg: Msg, now: Tick, out: &mut HomeOutbox) {
+        match msg.kind {
+            MsgKind::RdShared
+            | MsgKind::RdOwn
+            | MsgKind::ItoMWr
+            | MsgKind::DirtyEvict
+            | MsgKind::CleanEvict => {
+                let start = now.max(self.next_serve);
+                self.next_serve = start + self.cfg.serve_gap;
+                let t = start + self.cfg.lookup_latency;
+                let key = msg.addr.raw();
+                if self.busy.contains_key(&key) {
+                    self.pending
+                        .entry(key)
+                        .or_default()
+                        .push_back((msg.from, msg.kind));
+                } else {
+                    self.process_request(msg.from, msg.kind, msg.addr, t, out);
+                }
+            }
+            MsgKind::SnpRespInv { dirty } => {
+                let t = now + self.cfg.refill_latency;
+                self.snoop_resp(msg, dirty, true, t, out)
+            }
+            MsgKind::SnpRespDown { dirty } => {
+                let t = now + self.cfg.refill_latency;
+                self.snoop_resp(msg, dirty, false, t, out)
+            }
+            MsgKind::WbData => {
+                let t = now + self.cfg.refill_latency;
+                self.wb_data(msg, t, out)
+            }
+            MsgKind::MemData => {
+                let t = now + self.cfg.refill_latency;
+                self.mem_data(msg, t, out)
+            }
+            other => panic!("home received unexpected {:?}", other),
+        }
+    }
+
+    fn process_request(
+        &mut self,
+        from: AgentId,
+        kind: MsgKind,
+        addr: simcxl_mem::PhysAddr,
+        t: Tick,
+        out: &mut HomeOutbox,
+    ) {
+        let key = addr.raw();
+        match kind {
+            MsgKind::RdShared => {
+                match self.dir.get(&key) {
+                    None => {
+                        self.stats.mem_fetches += 1;
+                        self.busy.insert(
+                            key,
+                            HomeTx::Fetch { requester: from },
+                        );
+                        self.send_to_mem(t, MsgKind::MemRd, addr, out);
+                    }
+                    Some(e) if e.owner.is_some() && e.owner != Some(from) => {
+                        let owner = e.owner.expect("checked");
+                        self.stats.snoops_sent += 1;
+                        self.busy.insert(
+                            key,
+                            HomeTx::Collect {
+                                requester: from,
+                                for_own: false,
+                                pending: 1,
+                                dirty_seen: false,
+                                upgrade: false,
+                                ncp: false,
+                            },
+                        );
+                        self.send_to_cache(t, owner, MsgKind::SnpData, addr, None, out);
+                    }
+                    Some(_) => {
+                        self.stats.llc_hits += 1;
+                        let e = self.dir.get_mut(&key).expect("checked");
+                        let alone = e.sharers.is_empty() && e.owner.is_none();
+                        if alone {
+                            e.owner = Some(from);
+                            self.send_to_cache(
+                                t,
+                                from,
+                                MsgKind::DataGoE,
+                                addr,
+                                Some(HitLevel::Llc),
+                                out,
+                            );
+                        } else {
+                            // Requester may be re-reading its own line.
+                            if e.owner == Some(from) {
+                                e.owner = None;
+                            }
+                            e.sharers.insert(from);
+                            self.send_to_cache(
+                                t,
+                                from,
+                                MsgKind::DataGoS,
+                                addr,
+                                Some(HitLevel::Llc),
+                                out,
+                            );
+                        }
+                    }
+                }
+            }
+            MsgKind::RdOwn => {
+                match self.dir.get(&key) {
+                    None => {
+                        self.stats.mem_fetches += 1;
+                        self.busy.insert(
+                            key,
+                            HomeTx::Fetch { requester: from },
+                        );
+                        self.send_to_mem(t, MsgKind::MemRd, addr, out);
+                    }
+                    Some(e) => {
+                        let owner = e.owner;
+                        let others: Vec<AgentId> = e
+                            .sharers
+                            .iter()
+                            .copied()
+                            .filter(|&a| a != from)
+                            .collect();
+                        let upgrade = e.sharers.contains(&from) || owner == Some(from);
+                        if let Some(o) = owner.filter(|&o| o != from) {
+                            self.stats.snoops_sent += 1;
+                            self.busy.insert(
+                                key,
+                                HomeTx::Collect {
+                                    requester: from,
+                                    for_own: true,
+                                    pending: 1,
+                                    dirty_seen: false,
+                                    upgrade: false,
+                                    ncp: false,
+                                },
+                            );
+                            self.send_to_cache(t, o, MsgKind::SnpInv, addr, None, out);
+                        } else if !others.is_empty() {
+                            self.stats.snoops_sent += others.len() as u64;
+                            self.busy.insert(
+                                key,
+                                HomeTx::Collect {
+                                    requester: from,
+                                    for_own: true,
+                                    pending: others.len(),
+                                    dirty_seen: false,
+                                    upgrade,
+                                    ncp: false,
+                                },
+                            );
+                            for o in others {
+                                self.send_to_cache(t, o, MsgKind::SnpInv, addr, None, out);
+                            }
+                        } else {
+                            // No other copies.
+                            self.stats.llc_hits += 1;
+                            let e = self.dir.get_mut(&key).expect("checked");
+                            e.sharers.remove(&from);
+                            e.owner = Some(from);
+                            let kind = if upgrade {
+                                MsgKind::GoUpgrade
+                            } else {
+                                MsgKind::DataGoE
+                            };
+                            self.send_to_cache(t, from, kind, addr, Some(HitLevel::Llc), out);
+                        }
+                    }
+                }
+            }
+            MsgKind::ItoMWr => {
+                match self.dir.get(&key) {
+                    None => {
+                        // Full-line write: no memory fetch needed.
+                        self.stats.ncp_pushes += 1;
+                        self.dir.insert(
+                            key,
+                            DirEntry {
+                                owner: None,
+                                sharers: BTreeSet::new(),
+                                dirty: true,
+                            },
+                        );
+                        self.send_to_cache(t, from, MsgKind::GoNcp, addr, Some(HitLevel::Llc), out);
+                    }
+                    Some(e) => {
+                        let owner = e.owner.filter(|&o| o != from);
+                        let others: Vec<AgentId> = e
+                            .sharers
+                            .iter()
+                            .copied()
+                            .filter(|&a| a != from)
+                            .collect();
+                        let targets: Vec<AgentId> =
+                            owner.into_iter().chain(others).collect();
+                        if targets.is_empty() {
+                            self.stats.ncp_pushes += 1;
+                            let e = self.dir.get_mut(&key).expect("checked");
+                            e.owner = None;
+                            e.sharers.clear();
+                            e.dirty = true;
+                            self.send_to_cache(
+                                t,
+                                from,
+                                MsgKind::GoNcp,
+                                addr,
+                                Some(HitLevel::Llc),
+                                out,
+                            );
+                        } else {
+                            self.stats.snoops_sent += targets.len() as u64;
+                            self.busy.insert(
+                                key,
+                                HomeTx::Collect {
+                                    requester: from,
+                                    for_own: true,
+                                    pending: targets.len(),
+                                    dirty_seen: false,
+                                    upgrade: false,
+                                    ncp: true,
+                                },
+                            );
+                            for o in targets {
+                                self.send_to_cache(t, o, MsgKind::SnpInv, addr, None, out);
+                            }
+                        }
+                    }
+                }
+            }
+            MsgKind::DirtyEvict => {
+                let is_owner = self
+                    .dir
+                    .get(&key)
+                    .map(|e| e.owner == Some(from))
+                    .unwrap_or(false);
+                if is_owner {
+                    self.stats.write_pulls += 1;
+                    self.busy.insert(key, HomeTx::WritePull { evictor: from });
+                    self.send_to_cache(t, from, MsgKind::GoWritePull, addr, None, out);
+                } else {
+                    // Stale eviction (the line was snooped away first).
+                    self.send_to_cache(t, from, MsgKind::GoI, addr, None, out);
+                }
+            }
+            MsgKind::CleanEvict => {
+                if let Some(e) = self.dir.get_mut(&key) {
+                    e.sharers.remove(&from);
+                    if e.owner == Some(from) {
+                        e.owner = None;
+                    }
+                }
+            }
+            other => panic!("process_request on {:?}", other),
+        }
+    }
+
+    fn snoop_resp(&mut self, msg: Msg, dirty: bool, _inv: bool, t: Tick, out: &mut HomeOutbox) {
+        let key = msg.addr.raw();
+        let finish = {
+            let tx = self
+                .busy
+                .get_mut(&key)
+                .unwrap_or_else(|| panic!("snoop response for idle line {}", msg.addr));
+            match tx {
+                HomeTx::Collect {
+                    pending,
+                    dirty_seen,
+                    ..
+                } => {
+                    *pending -= 1;
+                    *dirty_seen |= dirty;
+                    *pending == 0
+                }
+                other => panic!("snoop response during {:?}", other),
+            }
+        };
+        // Directory bookkeeping: the responder no longer holds the line
+        // (SnpInv) or has been downgraded to S (SnpData).
+        if let Some(e) = self.dir.get_mut(&key) {
+            match msg.kind {
+                MsgKind::SnpRespInv { .. } => {
+                    e.sharers.remove(&msg.from);
+                    if e.owner == Some(msg.from) {
+                        e.owner = None;
+                    }
+                }
+                MsgKind::SnpRespDown { .. } => {
+                    if e.owner == Some(msg.from) {
+                        e.owner = None;
+                    }
+                    e.sharers.insert(msg.from);
+                }
+                _ => {}
+            }
+            if dirty {
+                // Peer's modified data lands in the LLC and is written
+                // through to memory (Fig. 7: "writes back dirty data to
+                // memory").
+                e.dirty = false;
+            }
+        }
+        if dirty {
+            self.send_to_mem(t, MsgKind::MemWr, msg.addr, out);
+        }
+        if finish {
+            let tx = self.busy.remove(&key).expect("checked");
+            if let HomeTx::Collect {
+                requester,
+                for_own,
+                dirty_seen,
+                upgrade,
+                ncp,
+                ..
+            } = tx
+            {
+                let level = if dirty_seen {
+                    HitLevel::Peer
+                } else {
+                    HitLevel::Llc
+                };
+                if ncp {
+                    self.stats.ncp_pushes += 1;
+                    let e = self.dir.entry(key).or_default();
+                    e.owner = None;
+                    e.sharers.clear();
+                    e.dirty = true;
+                    self.send_to_cache(t, requester, MsgKind::GoNcp, msg.addr, Some(level), out);
+                } else if for_own {
+                    let e = self.dir.entry(key).or_default();
+                    let requester_has_data = upgrade && e.sharers.contains(&requester);
+                    e.sharers.remove(&requester);
+                    e.owner = Some(requester);
+                    let kind = if requester_has_data {
+                        MsgKind::GoUpgrade
+                    } else {
+                        MsgKind::DataGoE
+                    };
+                    self.send_to_cache(t, requester, kind, msg.addr, Some(level), out);
+                } else {
+                    let e = self.dir.entry(key).or_default();
+                    e.sharers.insert(requester);
+                    self.send_to_cache(t, requester, MsgKind::DataGoS, msg.addr, Some(level), out);
+                }
+            }
+            self.replay_pending(key, msg.addr, t, out);
+        }
+    }
+
+    fn wb_data(&mut self, msg: Msg, t: Tick, out: &mut HomeOutbox) {
+        let key = msg.addr.raw();
+        match self.busy.remove(&key) {
+            Some(HomeTx::WritePull { evictor }) => {
+                if let Some(e) = self.dir.get_mut(&key) {
+                    if e.owner == Some(evictor) {
+                        e.owner = None;
+                    }
+                    e.sharers.remove(&evictor);
+                    e.dirty = false; // written through below
+                }
+                self.send_to_mem(t, MsgKind::MemWr, msg.addr, out);
+                self.send_to_cache(t, evictor, MsgKind::GoI, msg.addr, None, out);
+                self.replay_pending(key, msg.addr, t, out);
+            }
+            other => panic!("WbData during {:?}", other),
+        }
+    }
+
+    fn mem_data(&mut self, msg: Msg, t: Tick, out: &mut HomeOutbox) {
+        let key = msg.addr.raw();
+        match self.busy.remove(&key) {
+            Some(HomeTx::Fetch { requester }) => {
+                // Freshly fetched: grant E (sole copy) regardless of
+                // read-for-share vs read-for-ownership.
+                self.dir.insert(
+                    key,
+                    DirEntry {
+                        owner: Some(requester),
+                        sharers: BTreeSet::new(),
+                        dirty: false,
+                    },
+                );
+                self.send_to_cache(t, requester, MsgKind::DataGoE, msg.addr, Some(HitLevel::Mem), out);
+                self.replay_pending(key, msg.addr, t, out);
+            }
+            other => panic!("MemData during {:?}", other),
+        }
+    }
+
+    fn replay_pending(&mut self, key: u64, addr: simcxl_mem::PhysAddr, t: Tick, out: &mut HomeOutbox) {
+        if let Some(q) = self.pending.get_mut(&key) {
+            if let Some((from, kind)) = q.pop_front() {
+                if q.is_empty() {
+                    self.pending.remove(&key);
+                }
+                self.process_request(from, kind, addr, t, out);
+            } else {
+                self.pending.remove(&key);
+            }
+        }
+    }
+}

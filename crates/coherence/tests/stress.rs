@@ -1,0 +1,126 @@
+//! Stress tests: tiny caches force eviction/upgrade/snoop races at high
+//! rates; the protocol must stay deadlock-free, functionally exact and
+//! directory-consistent.
+
+use proptest::prelude::*;
+use simcxl_coherence::prelude::*;
+use simcxl_coherence::AtomicKind;
+use simcxl_mem::PhysAddr;
+use sim_core::Tick;
+
+fn tiny_cache() -> CacheConfig {
+    CacheConfig {
+        size_bytes: 4 * 64 * 2, // 4 sets x 2 ways = 8 lines
+        ways: 2,
+        ..CacheConfig::cpu_l1()
+    }
+}
+
+#[test]
+fn eviction_storm_with_three_agents() {
+    let mut eng = ProtocolEngine::builder().build();
+    let agents: Vec<AgentId> = (0..3).map(|_| eng.add_cache(tiny_cache())).collect();
+    let mut t = Tick::ZERO;
+    // 3 agents x 256 stores over 64 lines: constant capacity evictions
+    // and cross-agent invalidations.
+    for round in 0..256u64 {
+        for (i, &a) in agents.iter().enumerate() {
+            let line = (round * 7 + i as u64 * 13) % 64;
+            eng.issue(
+                a,
+                MemOp::Store {
+                    value: round * 10 + i as u64,
+                },
+                PhysAddr::new(0x8000 + line * 64),
+                t,
+            );
+        }
+        t += Tick::from_ns(120);
+    }
+    let done = eng.run_to_quiescence();
+    assert_eq!(done.len(), 3 * 256);
+    assert!(eng.is_quiescent());
+    eng.verify_invariants();
+}
+
+#[test]
+fn contended_counter_with_tiny_caches_is_exact() {
+    let mut eng = ProtocolEngine::builder().build();
+    let a = eng.add_cache(tiny_cache());
+    let b = eng.add_cache(tiny_cache());
+    let ctr = PhysAddr::new(0x9000);
+    let mut t = Tick::ZERO;
+    for i in 0..200u64 {
+        let agent = if i % 2 == 0 { a } else { b };
+        eng.issue(
+            agent,
+            MemOp::Rmw {
+                kind: AtomicKind::FetchAdd,
+                operand: 1,
+                operand2: 0,
+            },
+            ctr,
+            t,
+        );
+        // Interleave capacity-evicting traffic on the same agents.
+        eng.issue(
+            agent,
+            MemOp::Store { value: i },
+            PhysAddr::new(0xa000 + (i % 32) * 64),
+            t,
+        );
+        t += Tick::from_ns(90);
+    }
+    eng.run_to_quiescence();
+    assert_eq!(eng.func_mem().read_u64(ctr), 200);
+    eng.verify_invariants();
+}
+
+#[test]
+fn ncp_storm_against_owner() {
+    // NC-P pushes racing with ownership transfers on the same lines.
+    let mut eng = ProtocolEngine::builder().build();
+    let cpu = eng.add_cache(tiny_cache());
+    let dev = eng.add_cache(tiny_cache());
+    let mut t = Tick::ZERO;
+    for i in 0..150u64 {
+        let addr = PhysAddr::new(0xb000 + (i % 8) * 64);
+        eng.issue(cpu, MemOp::Store { value: i }, addr, t);
+        eng.issue(dev, MemOp::NcPush { value: i + 1000 }, addr, t + Tick::from_ns(5));
+        t += Tick::from_ns(200);
+    }
+    let done = eng.run_to_quiescence();
+    assert_eq!(done.len(), 300);
+    eng.verify_invariants();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random op soup over tiny caches: always quiesces, invariants
+    /// always hold, loads always return the latest completed store.
+    #[test]
+    fn random_soup_with_evictions(
+        ops in prop::collection::vec((0u8..4, 0u64..24, 0u64..1000, any::<bool>()), 1..120)
+    ) {
+        let mut eng = ProtocolEngine::builder().build();
+        let a = eng.add_cache(tiny_cache());
+        let b = eng.add_cache(tiny_cache());
+        let mut t = Tick::ZERO;
+        for (kind, line, val, who) in ops {
+            let agent = if who { a } else { b };
+            let addr = PhysAddr::new(0xc000 + line * 64);
+            let op = match kind {
+                0 => MemOp::Load,
+                1 => MemOp::Store { value: val },
+                2 => MemOp::Rmw { kind: AtomicKind::FetchMax, operand: val, operand2: 0 },
+                _ => MemOp::NcPush { value: val },
+            };
+            eng.issue(agent, op, addr, t);
+            t += Tick::from_ns(val % 400);
+        }
+        eng.run_to_quiescence();
+        prop_assert!(eng.is_quiescent());
+        eng.verify_invariants();
+    }
+}

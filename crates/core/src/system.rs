@@ -1,0 +1,550 @@
+//! The Cohet framework: coherent CPU/XPU pools over one page table.
+
+use crate::profile::DeviceProfile;
+use cohet_os::{
+    AccessKind, Accessor, NodeId, NodeKind, NumaTopology, OsError, Process, VirtAddr,
+};
+use simcxl_coherence::prelude::*;
+use simcxl_coherence::AtomicKind;
+use simcxl_cxl::{Atc, AtcConfig, IommuConfig};
+use simcxl_mem::{AddrRange, DramConfig, DramKind, MemoryInterface, PhysAddr};
+use sim_core::Tick;
+use std::fmt;
+
+/// Errors surfaced by the framework.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CohetError {
+    /// An OS-level fault (segfault, protection, OOM, bad free).
+    Os(OsError),
+    /// Kernel launch named a nonexistent XPU.
+    NoSuchXpu(usize),
+}
+
+impl fmt::Display for CohetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CohetError::Os(e) => write!(f, "{e}"),
+            CohetError::NoSuchXpu(i) => write!(f, "no such XPU: {i}"),
+        }
+    }
+}
+
+impl std::error::Error for CohetError {}
+
+impl From<OsError> for CohetError {
+    fn from(e: OsError) -> Self {
+        CohetError::Os(e)
+    }
+}
+
+/// Builder-produced system description.
+#[derive(Debug, Clone)]
+pub struct CohetSystem {
+    profile: DeviceProfile,
+    xpus: usize,
+    host_mem: u64,
+    xpu_mem: u64,
+    expander_mem: Option<u64>,
+}
+
+/// Builder for [`CohetSystem`].
+#[derive(Debug, Clone)]
+pub struct CohetSystemBuilder {
+    profile: DeviceProfile,
+    xpus: usize,
+    host_mem: u64,
+    xpu_mem: u64,
+    expander_mem: Option<u64>,
+}
+
+impl Default for CohetSystemBuilder {
+    fn default() -> Self {
+        CohetSystemBuilder {
+            profile: DeviceProfile::fpga_400mhz(),
+            xpus: 1,
+            host_mem: 256 << 20,
+            xpu_mem: 256 << 20,
+            expander_mem: None,
+        }
+    }
+}
+
+impl CohetSystemBuilder {
+    /// Selects the calibrated device profile (default: FPGA@400MHz).
+    pub fn profile(mut self, p: DeviceProfile) -> Self {
+        self.profile = p;
+        self
+    }
+
+    /// Number of XPUs (CXL type-2 accelerators; default 1).
+    pub fn xpus(mut self, n: usize) -> Self {
+        assert!(n >= 1, "need at least one XPU");
+        self.xpus = n;
+        self
+    }
+
+    /// Host memory size in bytes.
+    pub fn host_memory(mut self, bytes: u64) -> Self {
+        self.host_mem = bytes;
+        self
+    }
+
+    /// Per-XPU device memory size in bytes.
+    pub fn xpu_memory(mut self, bytes: u64) -> Self {
+        self.xpu_mem = bytes;
+        self
+    }
+
+    /// Attaches a CXL Type-3 memory expander of the given size, exposed
+    /// to the OS as a CPU-less NUMA node (paper §IV-B3).
+    pub fn expander_memory(mut self, bytes: u64) -> Self {
+        assert!(bytes > 0, "empty expander");
+        self.expander_mem = Some(bytes);
+        self
+    }
+
+    /// Finishes the description.
+    pub fn build(self) -> CohetSystem {
+        CohetSystem {
+            profile: self.profile,
+            xpus: self.xpus,
+            host_mem: self.host_mem,
+            xpu_mem: self.xpu_mem,
+            expander_mem: self.expander_mem,
+        }
+    }
+}
+
+impl CohetSystem {
+    /// Starts building a system.
+    pub fn builder() -> CohetSystemBuilder {
+        CohetSystemBuilder::default()
+    }
+
+    /// Instantiates the runtime (OS + coherence engine + devices) and
+    /// spawns the single simulated process over it.
+    pub fn spawn_process(&self) -> CohetProcess {
+        // Physical map: host memory at 0, each XPU's memory after it.
+        let mut topo = NumaTopology::new(cohet_os::PAGE_SIZE);
+        let cpu_node = topo.add_node(NodeKind::Cpu, AddrRange::new(PhysAddr::new(0), self.host_mem));
+        let mut mi = MemoryInterface::new();
+        mi.add_memory(
+            AddrRange::new(PhysAddr::new(0), self.host_mem),
+            DramConfig::preset(DramKind::Ddr5_4400),
+            Tick::ZERO,
+        );
+        let mut xpu_nodes = Vec::new();
+        let mut base = self.host_mem.next_power_of_two().max(1 << 30);
+        for _ in 0..self.xpus {
+            let range = AddrRange::new(PhysAddr::new(base), self.xpu_mem);
+            xpu_nodes.push(topo.add_node(NodeKind::Xpu, range));
+            mi.add_memory(
+                range,
+                DramConfig::preset(DramKind::Ddr5_4400),
+                self.profile.hmc.link.latency,
+            );
+            base += self.xpu_mem.next_power_of_two();
+        }
+        let mut expander_node = None;
+        if let Some(bytes) = self.expander_mem {
+            // The Type-3 expander: a CPU-less node behind the CXL.mem
+            // link (the paper's Samsung device appears the same way).
+            let range = AddrRange::new(PhysAddr::new(base), bytes);
+            expander_node = Some(topo.add_node(NodeKind::CpulessMemory, range));
+            let cfg = simcxl_cxl::CxlMemConfig::expander_default();
+            mi.add_memory(range, cfg.dram.clone(), cfg.link_latency);
+        }
+        let mut engine = ProtocolEngine::builder()
+            .home(self.profile.home.clone())
+            .memory(mi)
+            .build();
+        let cpu_agent = engine.add_cache(CacheConfig::cpu_l1());
+        let xpu_agents: Vec<AgentId> = (0..self.xpus)
+            .map(|_| engine.add_cache(self.profile.hmc.clone()))
+            .collect();
+        let atcs = (0..self.xpus)
+            .map(|_| Atc::new(AtcConfig::default(), IommuConfig::default()))
+            .collect();
+        CohetProcess {
+            os: Process::new(topo),
+            engine,
+            cpu_agent,
+            cpu_node,
+            xpu_agents,
+            xpu_nodes,
+            expander_node,
+            atcs,
+            clock: Tick::ZERO,
+        }
+    }
+}
+
+/// Kernel-side memory context handed to XPU kernels: coherent
+/// loads/stores on the *same* virtual addresses the CPU uses.
+pub struct KernelCtx<'a> {
+    proc: &'a mut CohetProcess,
+    xpu: usize,
+}
+
+impl KernelCtx<'_> {
+    /// Coherent 8-byte load from a virtual address.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CohetError`] the access raises (fault handling included).
+    pub fn load(&mut self, va: VirtAddr) -> Result<u64, CohetError> {
+        self.proc.xpu_access(self.xpu, va, MemOp::Load)
+    }
+
+    /// Coherent 8-byte store.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CohetError`] the access raises.
+    pub fn store(&mut self, va: VirtAddr, value: u64) -> Result<(), CohetError> {
+        self.proc.xpu_access(self.xpu, va, MemOp::Store { value })?;
+        Ok(())
+    }
+
+    /// Atomic fetch-add on shared memory (decentralized
+    /// synchronization, paper §III-B S3).
+    ///
+    /// # Errors
+    ///
+    /// Any [`CohetError`] the access raises.
+    pub fn fetch_add(&mut self, va: VirtAddr, delta: u64) -> Result<u64, CohetError> {
+        self.proc.xpu_access(
+            self.xpu,
+            va,
+            MemOp::Rmw {
+                kind: AtomicKind::FetchAdd,
+                operand: delta,
+                operand2: 0,
+            },
+        )
+    }
+}
+
+/// A running Cohet process: one unified page table shared by CPU and
+/// XPU threads, standard `malloc`/`mmap`, coherent access everywhere.
+pub struct CohetProcess {
+    os: Process,
+    engine: ProtocolEngine,
+    cpu_agent: AgentId,
+    cpu_node: NodeId,
+    xpu_agents: Vec<AgentId>,
+    xpu_nodes: Vec<NodeId>,
+    expander_node: Option<NodeId>,
+    atcs: Vec<Atc>,
+    clock: Tick,
+}
+
+impl CohetProcess {
+    /// Standard `malloc`: reserves virtual space; physical frames appear
+    /// on first touch on the toucher's NUMA node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OS allocation errors.
+    pub fn malloc(&mut self, len: u64) -> Result<VirtAddr, CohetError> {
+        Ok(self.os.malloc(len)?)
+    }
+
+    /// Standard `free`.
+    ///
+    /// # Errors
+    ///
+    /// [`CohetError::Os`] on an invalid pointer.
+    pub fn free(&mut self, ptr: VirtAddr) -> Result<(), CohetError> {
+        Ok(self.os.free(ptr)?)
+    }
+
+    /// CPU 8-byte store through the coherent hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CohetError`] the access raises.
+    pub fn write_u64(&mut self, va: VirtAddr, value: u64) -> Result<(), CohetError> {
+        self.cpu_access(va, MemOp::Store { value })?;
+        Ok(())
+    }
+
+    /// CPU 8-byte load.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CohetError`] the access raises.
+    pub fn read_u64(&mut self, va: VirtAddr) -> Result<u64, CohetError> {
+        self.cpu_access(va, MemOp::Load)
+    }
+
+    /// CPU atomic fetch-add; returns the previous value.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CohetError`] the access raises.
+    pub fn fetch_add(&mut self, va: VirtAddr, delta: u64) -> Result<u64, CohetError> {
+        self.cpu_access(
+            va,
+            MemOp::Rmw {
+                kind: AtomicKind::FetchAdd,
+                operand: delta,
+                operand2: 0,
+            },
+        )
+    }
+
+    /// Launches `kernel` on XPU `xpu` over `work_items` items and waits
+    /// for completion (`clEnqueueNDRangeKernel` + `clFinish` in Fig. 4c).
+    ///
+    /// # Errors
+    ///
+    /// [`CohetError::NoSuchXpu`] or any error the kernel returns.
+    pub fn launch_kernel(
+        &mut self,
+        xpu: usize,
+        work_items: u64,
+        kernel: impl Fn(&mut KernelCtx<'_>, u64) -> Result<(), CohetError>,
+    ) -> Result<(), CohetError> {
+        if xpu >= self.xpu_agents.len() {
+            return Err(CohetError::NoSuchXpu(xpu));
+        }
+        for i in 0..work_items {
+            let mut ctx = KernelCtx { proc: self, xpu };
+            kernel(&mut ctx, i)?;
+        }
+        Ok(())
+    }
+
+    /// Elapsed simulated time.
+    pub fn elapsed(&self) -> Tick {
+        self.clock.max(self.engine.now())
+    }
+
+    /// OS-level statistics (faults etc.).
+    pub fn os_stats(&self) -> cohet_os::process::ProcessStats {
+        self.os.stats()
+    }
+
+    /// XPU ATC statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xpu` is out of range.
+    pub fn atc_stats(&self, xpu: usize) -> (u64, u64) {
+        (self.atcs[xpu].hits(), self.atcs[xpu].misses())
+    }
+
+    /// The underlying protocol engine (inspection).
+    pub fn engine(&self) -> &ProtocolEngine {
+        &self.engine
+    }
+
+    /// The expander's NUMA node, if one was configured.
+    pub fn expander_node(&self) -> Option<NodeId> {
+        self.expander_node
+    }
+
+    /// Migrates the page containing `va` onto the expander node
+    /// (capacity tiering onto CXL.mem, paper §VII related work).
+    ///
+    /// # Errors
+    ///
+    /// [`CohetError::Os`] if no expander exists (surfaced as OOM), the
+    /// page is unmapped, or the expander is full.
+    pub fn demote_to_expander(&mut self, va: VirtAddr) -> Result<Tick, CohetError> {
+        let node = self.expander_node.ok_or(CohetError::Os(OsError::OutOfMemory))?;
+        Ok(cohet_os::migration::migrate_page(
+            &mut self.os,
+            va,
+            node,
+            cohet_os::migration::MigrationCost::default(),
+        )?)
+    }
+
+    fn cpu_access(&mut self, va: VirtAddr, op: MemOp) -> Result<u64, CohetError> {
+        let kind = access_kind(op);
+        let r = self.os.access(Accessor::Cpu(self.cpu_node), va, kind)?;
+        Ok(self.issue(self.cpu_agent, op, r.pa))
+    }
+
+    fn xpu_access(&mut self, xpu: usize, va: VirtAddr, op: MemOp) -> Result<u64, CohetError> {
+        let kind = access_kind(op);
+        // Device-side translation: ATC first, IOMMU walk + (if needed)
+        // fault on miss.
+        let node = self.xpu_nodes[xpu];
+        let page = va.page(cohet_os::PAGE_SIZE);
+        let resolved = self.os.access(Accessor::Xpu(node), va, kind)?;
+        let now = self.clock.max(self.engine.now());
+        let (_, t_done) = self.atcs[xpu].translate(now, page.raw(), |_vpn| {
+            resolved.pa.page(cohet_os::PAGE_SIZE).raw()
+        });
+        self.clock = t_done;
+        Ok(self.issue(self.xpu_agents[xpu], op, resolved.pa))
+    }
+
+    fn issue(&mut self, agent: AgentId, op: MemOp, pa: PhysAddr) -> u64 {
+        let at = self.clock.max(self.engine.now());
+        let req = self.engine.issue(agent, op, pa, at);
+        let done = self.engine.run_to_quiescence();
+        let c = done
+            .into_iter()
+            .find(|c| c.req == req)
+            .expect("request completed");
+        self.clock = c.done;
+        c.value
+    }
+}
+
+impl fmt::Debug for CohetProcess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CohetProcess")
+            .field("xpus", &self.xpu_agents.len())
+            .field("elapsed", &self.elapsed())
+            .field("os", &self.os)
+            .finish()
+    }
+}
+
+fn access_kind(op: MemOp) -> AccessKind {
+    if op.needs_ownership() || matches!(op, MemOp::NcPush { .. }) {
+        AccessKind::Write
+    } else {
+        AccessKind::Read
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proc() -> CohetProcess {
+        CohetSystem::builder().build().spawn_process()
+    }
+
+    #[test]
+    fn malloc_write_read_round_trip() {
+        let mut p = proc();
+        let ptr = p.malloc(4096).unwrap();
+        p.write_u64(ptr, 0xdead).unwrap();
+        assert_eq!(p.read_u64(ptr).unwrap(), 0xdead);
+        assert_eq!(p.os_stats().minor_faults, 1);
+        p.free(ptr).unwrap();
+    }
+
+    #[test]
+    fn cpu_and_xpu_share_pointers() {
+        let mut p = proc();
+        let ptr = p.malloc(64).unwrap();
+        p.write_u64(ptr, 41).unwrap();
+        // XPU increments through the same virtual address.
+        p.launch_kernel(0, 1, move |ctx, _| {
+            let v = ctx.load(ptr)?;
+            ctx.store(ptr, v + 1)
+        })
+        .unwrap();
+        assert_eq!(p.read_u64(ptr).unwrap(), 42);
+    }
+
+    #[test]
+    fn xpu_first_touch_lands_on_xpu_node() {
+        let mut p = proc();
+        let ptr = p.malloc(4096).unwrap();
+        p.launch_kernel(0, 1, move |ctx, _| ctx.store(ptr, 5)).unwrap();
+        // The frame must live on the XPU node (node 1).
+        let pa = p.os.translate(ptr).unwrap();
+        assert!(pa.raw() >= 1 << 30, "frame {pa} not in XPU memory");
+        // And the CPU can read it coherently.
+        assert_eq!(p.read_u64(ptr).unwrap(), 5);
+    }
+
+    #[test]
+    fn atomics_are_coherent_across_pools() {
+        let mut p = proc();
+        let ctr = p.malloc(8).unwrap();
+        p.write_u64(ctr, 0).unwrap();
+        for _ in 0..10 {
+            p.fetch_add(ctr, 1).unwrap();
+            p.launch_kernel(0, 1, move |ctx, _| {
+                ctx.fetch_add(ctr, 1)?;
+                Ok(())
+            })
+            .unwrap();
+        }
+        assert_eq!(p.read_u64(ctr).unwrap(), 20);
+    }
+
+    #[test]
+    fn atc_caches_translations() {
+        let mut p = proc();
+        let ptr = p.malloc(4096).unwrap();
+        p.launch_kernel(0, 16, move |ctx, i| ctx.store(ptr + i * 8, i)).unwrap();
+        let (hits, misses) = p.atc_stats(0);
+        assert_eq!(misses, 1, "one walk for the page");
+        assert_eq!(hits, 15);
+    }
+
+    #[test]
+    fn expander_extends_capacity_and_serves_demotions() {
+        // Tiny host memory + an expander: spill and demotion both work.
+        let mut p = CohetSystem::builder()
+            .host_memory(64 * 1024)
+            .xpu_memory(64 * 1024)
+            .expander_memory(8 << 20)
+            .build()
+            .spawn_process();
+        let node = p.expander_node().expect("expander configured");
+        // Fill host + XPU memory (32 frames), then keep going: spills
+        // land on the CPU-less expander node.
+        let buf = p.malloc(64 << 20).unwrap();
+        for i in 0..64u64 {
+            p.write_u64(buf + i * 4096, i).unwrap();
+        }
+        assert!(
+            p.os_stats().minor_faults == 64,
+            "every page faulted exactly once"
+        );
+        for i in 0..64u64 {
+            assert_eq!(p.read_u64(buf + i * 4096).unwrap(), i);
+        }
+        // Explicit demotion of a host page onto the expander.
+        let cost = p.demote_to_expander(buf).unwrap();
+        assert!(cost > sim_core::Tick::ZERO);
+        assert_eq!(p.read_u64(buf).unwrap(), 0);
+        let _ = node;
+    }
+
+    #[test]
+    fn demotion_without_expander_fails() {
+        let mut p = proc();
+        let buf = p.malloc(4096).unwrap();
+        p.write_u64(buf, 1).unwrap();
+        assert!(p.demote_to_expander(buf).is_err());
+    }
+
+    #[test]
+    fn kernel_on_missing_xpu_fails() {
+        let mut p = proc();
+        let e = p.launch_kernel(5, 1, |_, _| Ok(())).unwrap_err();
+        assert_eq!(e, CohetError::NoSuchXpu(5));
+    }
+
+    #[test]
+    fn segfault_propagates() {
+        let mut p = proc();
+        let e = p.read_u64(VirtAddr::new(0x10)).unwrap_err();
+        assert!(matches!(e, CohetError::Os(OsError::Segfault(_))));
+    }
+
+    #[test]
+    fn time_advances_monotonically() {
+        let mut p = proc();
+        let ptr = p.malloc(64).unwrap();
+        let t0 = p.elapsed();
+        p.write_u64(ptr, 1).unwrap();
+        let t1 = p.elapsed();
+        p.read_u64(ptr).unwrap();
+        let t2 = p.elapsed();
+        assert!(t0 < t1 && t1 < t2);
+    }
+}

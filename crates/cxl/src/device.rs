@@ -1,0 +1,158 @@
+//! CXL device types and descriptors.
+
+use crate::protocol::SubProtocol;
+use simcxl_coherence::CacheConfig;
+use simcxl_mem::{DramConfig, DramKind};
+use simcxl_pcie::{Bar, BarKind, ConfigSpace};
+
+/// The three CXL device types (paper §II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceType {
+    /// CXL.io + CXL.cache: accelerators without device memory
+    /// (e.g. SmartNICs).
+    Type1,
+    /// All three sub-protocols: accelerators with device memory
+    /// (e.g. GPUs).
+    Type2,
+    /// CXL.io + CXL.mem: memory expanders.
+    Type3,
+}
+
+impl DeviceType {
+    /// Sub-protocols the type implements.
+    pub fn protocols(self) -> &'static [SubProtocol] {
+        match self {
+            DeviceType::Type1 => &[SubProtocol::Io, SubProtocol::Cache],
+            DeviceType::Type2 => &[SubProtocol::Io, SubProtocol::Cache, SubProtocol::Mem],
+            DeviceType::Type3 => &[SubProtocol::Io, SubProtocol::Mem],
+        }
+    }
+
+    /// Whether the device coherently caches host memory.
+    pub fn has_cache(self) -> bool {
+        !matches!(self, DeviceType::Type3)
+    }
+
+    /// Whether the device exposes its own memory to the host.
+    pub fn has_memory(self) -> bool {
+        !matches!(self, DeviceType::Type1)
+    }
+}
+
+/// Descriptor of one CXL device, sufficient to instantiate its models.
+#[derive(Debug, Clone)]
+pub struct CxlDevice {
+    /// Device type.
+    pub device_type: DeviceType,
+    /// HMC configuration (Type-1/2 only).
+    pub hmc: Option<CacheConfig>,
+    /// Device-attached memory (Type-2/3 only): DRAM kind and size.
+    pub memory: Option<(DramConfig, u64)>,
+    /// Operating frequency label used in reports.
+    pub label: &'static str,
+}
+
+impl CxlDevice {
+    /// A Type-1 accelerator with the paper's 128 KB 4-way HMC
+    /// (the Agilex CXL-FPGA in type-1 configuration).
+    pub fn type1_fpga() -> Self {
+        CxlDevice {
+            device_type: DeviceType::Type1,
+            hmc: Some(CacheConfig::hmc_128k()),
+            memory: None,
+            label: "CXL-FPGA type-1 @400MHz",
+        }
+    }
+
+    /// A Type-2 accelerator: HMC plus device DDR.
+    pub fn type2_fpga(mem_bytes: u64) -> Self {
+        CxlDevice {
+            device_type: DeviceType::Type2,
+            hmc: Some(CacheConfig::hmc_128k()),
+            memory: Some((DramConfig::preset(DramKind::Ddr5_4400), mem_bytes)),
+            label: "CXL-FPGA type-2 @400MHz",
+        }
+    }
+
+    /// A Type-3 memory expander (the paper's Samsung 512 GB device,
+    /// scaled down by default for simulation).
+    pub fn type3_expander(mem_bytes: u64) -> Self {
+        CxlDevice {
+            device_type: DeviceType::Type3,
+            hmc: None,
+            memory: Some((DramConfig::preset(DramKind::Ddr5_4800), mem_bytes)),
+            label: "CXL memory expander",
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the descriptor's resources do not match its type.
+    pub fn validate(&self) {
+        assert_eq!(
+            self.hmc.is_some(),
+            self.device_type.has_cache(),
+            "{:?} and HMC presence disagree",
+            self.device_type
+        );
+        assert_eq!(
+            self.memory.is_some(),
+            self.device_type.has_memory(),
+            "{:?} and device memory presence disagree",
+            self.device_type
+        );
+    }
+
+    /// Builds the PCI configuration header the BIOS enumerates: one MMIO
+    /// BAR always, plus a device-memory BAR for Type-2/3.
+    pub fn config_space(&self) -> ConfigSpace {
+        let mut cfg = ConfigSpace::new(0x1af4, 0xc0de, 0x0502);
+        cfg.add_bar(Bar::new(BarKind::Mmio, 64 * 1024));
+        if let Some((_, size)) = self.memory {
+            let size = size.next_power_of_two().max(4096);
+            cfg.add_bar(Bar::new(BarKind::DeviceMemory, size));
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_sets() {
+        assert_eq!(DeviceType::Type1.protocols().len(), 2);
+        assert_eq!(DeviceType::Type2.protocols().len(), 3);
+        assert!(DeviceType::Type3.protocols().contains(&SubProtocol::Mem));
+        assert!(!DeviceType::Type3.has_cache());
+        assert!(!DeviceType::Type1.has_memory());
+        assert!(DeviceType::Type2.has_cache() && DeviceType::Type2.has_memory());
+    }
+
+    #[test]
+    fn presets_validate() {
+        CxlDevice::type1_fpga().validate();
+        CxlDevice::type2_fpga(1 << 30).validate();
+        CxlDevice::type3_expander(16 << 30).validate();
+    }
+
+    #[test]
+    fn config_space_shapes() {
+        let t1 = CxlDevice::type1_fpga().config_space();
+        assert_eq!(t1.bars.len(), 1);
+        let t2 = CxlDevice::type2_fpga(1 << 30).config_space();
+        assert_eq!(t2.bars.len(), 2);
+        assert_eq!(t2.bars[1].kind, BarKind::DeviceMemory);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inconsistent_descriptor_panics() {
+        let mut d = CxlDevice::type1_fpga();
+        d.hmc = None;
+        d.validate();
+    }
+}

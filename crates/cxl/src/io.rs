@@ -1,0 +1,172 @@
+//! CXL.io: enumeration, the accelerator character device, and DMA.
+//!
+//! Paper §IV-B1: the BIOS sizes and maps BARs over configuration
+//! transactions, then "a kernel driver creates `/dev/cxl_acc` and exposes
+//! open, mmap and release syscalls, allowing the CPU to read and write
+//! the BAR space of the CXL device via MMIO to control the device."
+
+use crate::device::CxlDevice;
+use simcxl_mem::PhysAddr;
+use simcxl_pcie::config_space::DeviceId as PcieDeviceId;
+use simcxl_pcie::{DmaConfig, DmaEngine, MmioConfig, MmioPort, PcieBus};
+use std::collections::HashMap;
+
+pub use simcxl_pcie::config_space::DeviceId;
+
+/// Handle returned by [`CxlIo::open`], mirroring the `/dev/cxl_acc` fd.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CxlHandle(u64);
+
+/// The CXL.io layer: a PCIe bus plus per-device MMIO ports and DMA
+/// engines, with a `/dev/cxl_acc`-style open/mmap interface.
+#[derive(Debug)]
+pub struct CxlIo {
+    bus: PcieBus,
+    devices: Vec<CxlDevice>,
+    mmio: Vec<MmioPort>,
+    dma: Vec<DmaEngine>,
+    handles: HashMap<u64, PcieDeviceId>,
+    next_handle: u64,
+    enumerated: bool,
+}
+
+impl CxlIo {
+    /// Creates an empty CXL.io layer with its PCI hole at `mmio_base`.
+    pub fn new(mmio_base: PhysAddr) -> Self {
+        CxlIo {
+            bus: PcieBus::new(mmio_base),
+            devices: Vec::new(),
+            mmio: Vec::new(),
+            dma: Vec::new(),
+            handles: HashMap::new(),
+            next_handle: 0,
+            enumerated: false,
+        }
+    }
+
+    /// Attaches a device (before enumeration) with the given DMA timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`enumerate`](Self::enumerate) or the
+    /// descriptor is inconsistent.
+    pub fn attach(&mut self, device: CxlDevice, dma: DmaConfig) -> PcieDeviceId {
+        assert!(!self.enumerated, "attach after enumeration");
+        device.validate();
+        let id = self.bus.attach(device.config_space());
+        self.mmio.push(MmioPort::new(MmioConfig::from_link(&dma.link)));
+        self.dma.push(DmaEngine::new(dma));
+        self.devices.push(device);
+        id
+    }
+
+    /// Runs BIOS enumeration: sizes BARs and assigns windows.
+    pub fn enumerate(&mut self) {
+        self.bus.enumerate();
+        self.enumerated = true;
+    }
+
+    /// Whether enumeration has run.
+    pub fn is_enumerated(&self) -> bool {
+        self.enumerated
+    }
+
+    /// Opens the accelerator device (the `/dev/cxl_acc` open syscall).
+    ///
+    /// # Panics
+    ///
+    /// Panics before enumeration.
+    pub fn open(&mut self, id: PcieDeviceId) -> CxlHandle {
+        assert!(self.enumerated, "open before enumeration");
+        let h = self.next_handle;
+        self.next_handle += 1;
+        self.handles.insert(h, id);
+        CxlHandle(h)
+    }
+
+    /// Maps BAR `bar` of an open device into the caller's address space
+    /// (the mmap syscall); returns the physical window base.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stale handle or unassigned BAR.
+    pub fn mmap(&self, handle: CxlHandle, bar: usize) -> PhysAddr {
+        let id = self.handles[&handle.0];
+        self.bus.device(id).bars[bar]
+            .base
+            .expect("BAR assigned during enumeration")
+    }
+
+    /// Releases a handle (the release syscall).
+    pub fn release(&mut self, handle: CxlHandle) {
+        self.handles.remove(&handle.0);
+    }
+
+    /// The MMIO port of a device (doorbells).
+    pub fn mmio_port(&mut self, id: PcieDeviceId) -> &mut MmioPort {
+        &mut self.mmio[id.0]
+    }
+
+    /// The DMA engine of a device.
+    pub fn dma_engine(&mut self, id: PcieDeviceId) -> &mut DmaEngine {
+        &mut self.dma[id.0]
+    }
+
+    /// The device descriptor.
+    pub fn device(&self, id: PcieDeviceId) -> &CxlDevice {
+        &self.devices[id.0]
+    }
+
+    /// The underlying bus (address decode).
+    pub fn bus(&self) -> &PcieBus {
+        &self.bus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::Tick;
+
+    fn io() -> (CxlIo, PcieDeviceId) {
+        let mut io = CxlIo::new(PhysAddr::new(0xc000_0000));
+        let id = io.attach(CxlDevice::type2_fpga(1 << 30), DmaConfig::fpga_400mhz());
+        io.enumerate();
+        (io, id)
+    }
+
+    #[test]
+    fn open_mmap_release_cycle() {
+        let (mut io, id) = io();
+        let h = io.open(id);
+        let mmio_base = io.mmap(h, 0);
+        let mem_base = io.mmap(h, 1);
+        assert_ne!(mmio_base, mem_base);
+        assert_eq!(io.bus().decode(mmio_base), Some((id, 0)));
+        io.release(h);
+    }
+
+    #[test]
+    #[should_panic]
+    fn open_before_enumeration_panics() {
+        let mut io = CxlIo::new(PhysAddr::new(0xc000_0000));
+        let id = io.attach(CxlDevice::type1_fpga(), DmaConfig::fpga_400mhz());
+        let _ = io.open(id);
+    }
+
+    #[test]
+    fn doorbell_and_dma_usable() {
+        let (mut io, id) = io();
+        let ring = io.mmio_port(id).write(Tick::ZERO);
+        assert!(ring > Tick::ZERO);
+        let done = io.dma_engine(id).transfer(ring, 4096);
+        assert!(done > ring);
+    }
+
+    #[test]
+    #[should_panic]
+    fn attach_after_enumeration_panics() {
+        let (mut io, _) = io();
+        io.attach(CxlDevice::type1_fpga(), DmaConfig::fpga_400mhz());
+    }
+}

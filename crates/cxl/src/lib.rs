@@ -1,0 +1,34 @@
+//! CXL sub-protocols and device models (SimCXL §IV).
+//!
+//! Built on the PCIe physical layer ([`simcxl_pcie`]), CXL adds three
+//! sub-protocols:
+//!
+//! * **CXL.io** ([`io`]) — PCIe-equivalent enumeration, configuration,
+//!   MMIO and DMA.
+//! * **CXL.cache** ([`protocol`], backed by [`simcxl_coherence`]) — lets a
+//!   device coherently cache host memory through its host-memory cache
+//!   (HMC) and device coherency engine (DCOH).
+//! * **CXL.mem** ([`mem_path`]) — lets the host load/store device-attached
+//!   memory.
+//!
+//! Combining them yields the three device types ([`device::DeviceType`]):
+//! Type-1 (.io+.cache), Type-2 (all three) and Type-3 (.io+.mem memory
+//! expanders). [`ats`] models the address translation service (device ATC
+//! plus host IOMMU) and [`switch`] the CXL fabric with its distributed
+//! resource scheduler (fabric manager).
+
+pub mod ats;
+pub mod device;
+pub mod flit;
+pub mod io;
+pub mod mem_path;
+pub mod protocol;
+pub mod switch;
+
+pub use ats::{Atc, AtcConfig, IommuConfig, TranslationOutcome};
+pub use device::{CxlDevice, DeviceType};
+pub use flit::FlitCounter;
+pub use io::CxlIo;
+pub use mem_path::{CxlMemConfig, CxlMemPath};
+pub use protocol::SubProtocol;
+pub use switch::{FabricManager, PoolResource, SwitchConfig};

@@ -1,0 +1,128 @@
+//! CXL sub-protocol vocabulary and the mapping from CXL.cache opcodes to
+//! the coherence engine's message set.
+
+use simcxl_coherence::msg::MsgKind;
+use std::fmt;
+
+/// The three CXL sub-protocols (paper §II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubProtocol {
+    /// PCIe-equivalent features: enumeration, config, MMIO, DMA.
+    Io,
+    /// Device coherently caches host memory (D2H).
+    Cache,
+    /// Host loads/stores device-attached memory (H2D).
+    Mem,
+}
+
+impl fmt::Display for SubProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SubProtocol::Io => "CXL.io",
+            SubProtocol::Cache => "CXL.cache",
+            SubProtocol::Mem => "CXL.mem",
+        };
+        f.write_str(s)
+    }
+}
+
+/// CXL.cache device-to-host request opcodes (CXL 1.1 spec table subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum D2hReq {
+    /// Read for shared state.
+    RdShared,
+    /// Read for ownership.
+    RdOwn,
+    /// Read current value without caching.
+    RdCurr,
+    /// Invalid-to-Modified write: full-line push (the NC-P building
+    /// block, paper §II-B).
+    ItoMWr,
+    /// Dirty eviction (requests a write pull).
+    DirtyEvict,
+    /// Clean eviction notification.
+    CleanEvict,
+}
+
+impl D2hReq {
+    /// The coherence-engine message implementing this opcode.
+    pub fn to_msg(self) -> MsgKind {
+        match self {
+            D2hReq::RdShared | D2hReq::RdCurr => MsgKind::RdShared,
+            D2hReq::RdOwn => MsgKind::RdOwn,
+            D2hReq::ItoMWr => MsgKind::ItoMWr,
+            D2hReq::DirtyEvict => MsgKind::DirtyEvict,
+            D2hReq::CleanEvict => MsgKind::CleanEvict,
+        }
+    }
+}
+
+/// Host-to-device requests (snoops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum H2dReq {
+    /// Invalidate.
+    SnpInv,
+    /// Downgrade to shared, forwarding data.
+    SnpData,
+    /// Read current value without state change (modelled as SnpData).
+    SnpCurr,
+}
+
+impl H2dReq {
+    /// The coherence-engine message implementing this snoop.
+    pub fn to_msg(self) -> MsgKind {
+        match self {
+            H2dReq::SnpInv => MsgKind::SnpInv,
+            H2dReq::SnpData | H2dReq::SnpCurr => MsgKind::SnpData,
+        }
+    }
+}
+
+/// Global-observation (GO) response types carried on the H2D response
+/// channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum H2dRsp {
+    /// Grant exclusive with data.
+    GoE,
+    /// Grant shared with data.
+    GoS,
+    /// Grant invalid (after eviction).
+    GoI,
+    /// Authorize a writeback.
+    GoWritePull,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SubProtocol::Io.to_string(), "CXL.io");
+        assert_eq!(SubProtocol::Cache.to_string(), "CXL.cache");
+        assert_eq!(SubProtocol::Mem.to_string(), "CXL.mem");
+    }
+
+    #[test]
+    fn d2h_mapping_is_total() {
+        let all = [
+            D2hReq::RdShared,
+            D2hReq::RdOwn,
+            D2hReq::RdCurr,
+            D2hReq::ItoMWr,
+            D2hReq::DirtyEvict,
+            D2hReq::CleanEvict,
+        ];
+        for r in all {
+            let _ = r.to_msg(); // must not panic
+        }
+        assert_eq!(D2hReq::RdOwn.to_msg(), MsgKind::RdOwn);
+        assert_eq!(D2hReq::ItoMWr.to_msg(), MsgKind::ItoMWr);
+    }
+
+    #[test]
+    fn h2d_mapping() {
+        assert_eq!(H2dReq::SnpInv.to_msg(), MsgKind::SnpInv);
+        assert_eq!(H2dReq::SnpCurr.to_msg(), MsgKind::SnpData);
+    }
+}

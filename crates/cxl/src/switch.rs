@@ -1,0 +1,230 @@
+//! CXL switch fabric and the distributed fabric manager.
+//!
+//! Paper §III-C1: "One or more CXL switches compose a CXL fabric. A
+//! distributed resource scheduler (fabric manager) is implemented in each
+//! switch to allocate/release fabric-attached memory and XPU resources to
+//! a specific host." This module models that resource-pooling control
+//! plane (allocation, binding, release) plus the extra per-hop latency a
+//! switched topology adds to the data plane.
+
+use sim_core::Tick;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A fabric-attached resource in the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolResource {
+    /// Fabric-attached memory, in bytes.
+    Memory {
+        /// Capacity of the region.
+        bytes: u64,
+    },
+    /// An XPU accelerator.
+    Xpu,
+}
+
+/// Identifies a host port on the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostPort(pub usize);
+
+/// Identifies a pooled resource instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(u64);
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "res{}", self.0)
+    }
+}
+
+/// Switch timing configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchConfig {
+    /// Per-hop forwarding latency added to the data plane.
+    pub hop_latency: Tick,
+    /// Number of switch hops between a host and pooled devices.
+    pub hops: u32,
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        SwitchConfig {
+            hop_latency: Tick::from_ns(25),
+            hops: 1,
+        }
+    }
+}
+
+impl SwitchConfig {
+    /// Total extra one-way latency through the fabric.
+    pub fn traversal(&self) -> Tick {
+        self.hop_latency * self.hops as u64
+    }
+}
+
+/// Errors returned by the [`FabricManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricError {
+    /// No unbound resource satisfies the request.
+    NoneAvailable,
+    /// The resource is not bound to the releasing host.
+    NotBound,
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::NoneAvailable => f.write_str("no matching unbound resource available"),
+            FabricError::NotBound => f.write_str("resource is not bound to this host"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+/// The per-switch resource scheduler.
+#[derive(Debug)]
+pub struct FabricManager {
+    config: SwitchConfig,
+    resources: HashMap<ResourceId, (PoolResource, Option<HostPort>)>,
+    next_id: u64,
+}
+
+impl FabricManager {
+    /// Creates a manager with an empty pool.
+    pub fn new(config: SwitchConfig) -> Self {
+        FabricManager {
+            config,
+            resources: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The switch timing configuration.
+    pub fn config(&self) -> &SwitchConfig {
+        &self.config
+    }
+
+    /// Registers a resource into the pool; returns its id.
+    pub fn register(&mut self, res: PoolResource) -> ResourceId {
+        let id = ResourceId(self.next_id);
+        self.next_id += 1;
+        self.resources.insert(id, (res, None));
+        id
+    }
+
+    /// Allocates an unbound resource matching `want` to `host`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::NoneAvailable`] if nothing matches. For
+    /// memory, any unbound region with at least the requested capacity
+    /// matches.
+    pub fn allocate(&mut self, host: HostPort, want: PoolResource) -> Result<ResourceId, FabricError> {
+        let mut best: Option<(ResourceId, u64)> = None;
+        for (&id, &(res, bound)) in &self.resources {
+            if bound.is_some() {
+                continue;
+            }
+            match (want, res) {
+                (PoolResource::Xpu, PoolResource::Xpu) => {
+                    best = Some((id, 0));
+                    break;
+                }
+                (PoolResource::Memory { bytes: need }, PoolResource::Memory { bytes: have })
+                    if have >= need
+                    // Best fit: smallest adequate region.
+                    && best.is_none_or(|(_, b)| have < b) => {
+                        best = Some((id, have));
+                    }
+                _ => {}
+            }
+        }
+        let (id, _) = best.ok_or(FabricError::NoneAvailable)?;
+        self.resources.get_mut(&id).expect("exists").1 = Some(host);
+        Ok(id)
+    }
+
+    /// Releases a resource previously bound to `host`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::NotBound`] if `id` is not bound to `host`.
+    pub fn release(&mut self, host: HostPort, id: ResourceId) -> Result<(), FabricError> {
+        match self.resources.get_mut(&id) {
+            Some((_, bound)) if *bound == Some(host) => {
+                *bound = None;
+                Ok(())
+            }
+            _ => Err(FabricError::NotBound),
+        }
+    }
+
+    /// The host a resource is bound to, if any.
+    pub fn binding(&self, id: ResourceId) -> Option<HostPort> {
+        self.resources.get(&id).and_then(|&(_, b)| b)
+    }
+
+    /// Count of unbound resources.
+    pub fn available(&self) -> usize {
+        self.resources.values().filter(|(_, b)| b.is_none()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_release_xpu() {
+        let mut fm = FabricManager::new(SwitchConfig::default());
+        let _x = fm.register(PoolResource::Xpu);
+        let id = fm.allocate(HostPort(0), PoolResource::Xpu).unwrap();
+        assert_eq!(fm.binding(id), Some(HostPort(0)));
+        assert_eq!(
+            fm.allocate(HostPort(1), PoolResource::Xpu),
+            Err(FabricError::NoneAvailable)
+        );
+        fm.release(HostPort(0), id).unwrap();
+        assert!(fm.allocate(HostPort(1), PoolResource::Xpu).is_ok());
+    }
+
+    #[test]
+    fn memory_best_fit() {
+        let mut fm = FabricManager::new(SwitchConfig::default());
+        fm.register(PoolResource::Memory { bytes: 64 << 30 });
+        fm.register(PoolResource::Memory { bytes: 16 << 30 });
+        let id = fm
+            .allocate(HostPort(0), PoolResource::Memory { bytes: 8 << 30 })
+            .unwrap();
+        // Should pick the 16 GB region.
+        let (res, _) = fm.resources[&id];
+        assert_eq!(res, PoolResource::Memory { bytes: 16 << 30 });
+    }
+
+    #[test]
+    fn release_requires_owner() {
+        let mut fm = FabricManager::new(SwitchConfig::default());
+        fm.register(PoolResource::Xpu);
+        let id = fm.allocate(HostPort(0), PoolResource::Xpu).unwrap();
+        assert_eq!(fm.release(HostPort(1), id), Err(FabricError::NotBound));
+        assert_eq!(fm.binding(id), Some(HostPort(0)));
+    }
+
+    #[test]
+    fn traversal_scales_with_hops() {
+        let one = SwitchConfig::default();
+        let two = SwitchConfig { hops: 2, ..one };
+        assert_eq!(two.traversal(), one.traversal() * 2);
+    }
+
+    #[test]
+    fn available_counts_unbound() {
+        let mut fm = FabricManager::new(SwitchConfig::default());
+        fm.register(PoolResource::Xpu);
+        fm.register(PoolResource::Memory { bytes: 1 << 30 });
+        assert_eq!(fm.available(), 2);
+        fm.allocate(HostPort(0), PoolResource::Xpu).unwrap();
+        assert_eq!(fm.available(), 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Physical addresses and address ranges.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Size of one cacheline in bytes (x86 and CXL both use 64 B).
+pub const CACHELINE_BYTES: u64 = 64;
+
+/// A physical memory address.
+///
+/// A newtype so that physical addresses, virtual addresses and plain sizes
+/// cannot be mixed up across the OS and coherence layers.
+///
+/// ```
+/// use simcxl_mem::PhysAddr;
+/// let a = PhysAddr::new(0x1234);
+/// assert_eq!(a.line().raw(), 0x1200);
+/// assert_eq!(a.line_offset(), 0x34);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates an address from its raw value.
+    pub const fn new(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+
+    /// The raw 64-bit value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The address rounded down to its cacheline base.
+    pub const fn line(self) -> PhysAddr {
+        PhysAddr(self.0 & !(CACHELINE_BYTES - 1))
+    }
+
+    /// Byte offset within the cacheline.
+    pub const fn line_offset(self) -> u64 {
+        self.0 & (CACHELINE_BYTES - 1)
+    }
+
+    /// Whether the address is cacheline-aligned.
+    pub const fn is_line_aligned(self) -> bool {
+        self.line_offset() == 0
+    }
+
+    /// The address rounded down to a `page_size` boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `page_size` is not a power of two.
+    pub fn page(self, page_size: u64) -> PhysAddr {
+        debug_assert!(page_size.is_power_of_two());
+        PhysAddr(self.0 & !(page_size - 1))
+    }
+
+    /// Checked addition of a byte offset.
+    pub fn checked_add(self, bytes: u64) -> Option<PhysAddr> {
+        self.0.checked_add(bytes).map(PhysAddr)
+    }
+}
+
+impl Add<u64> for PhysAddr {
+    type Output = PhysAddr;
+    fn add(self, rhs: u64) -> PhysAddr {
+        PhysAddr(self.0 + rhs)
+    }
+}
+
+impl Sub<PhysAddr> for PhysAddr {
+    type Output = u64;
+    fn sub(self, rhs: PhysAddr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A half-open physical address range `[base, base + size)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddrRange {
+    base: PhysAddr,
+    size: u64,
+}
+
+impl AddrRange {
+    /// Creates a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or the range would overflow.
+    pub fn new(base: PhysAddr, size: u64) -> Self {
+        assert!(size > 0, "empty address range");
+        assert!(
+            base.raw().checked_add(size).is_some(),
+            "address range overflows"
+        );
+        AddrRange { base, size }
+    }
+
+    /// Range start.
+    pub const fn base(self) -> PhysAddr {
+        self.base
+    }
+
+    /// Range size in bytes.
+    pub const fn size(self) -> u64 {
+        self.size
+    }
+
+    /// One past the last address.
+    pub fn end(self) -> PhysAddr {
+        self.base + self.size
+    }
+
+    /// Whether `addr` falls inside the range.
+    pub fn contains(self, addr: PhysAddr) -> bool {
+        addr >= self.base && addr.raw() < self.base.raw() + self.size
+    }
+
+    /// Whether two ranges share any address.
+    pub fn overlaps(self, other: AddrRange) -> bool {
+        self.base.raw() < other.end().raw() && other.base.raw() < self.end().raw()
+    }
+
+    /// Byte offset of `addr` from the range base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not inside the range.
+    pub fn offset_of(self, addr: PhysAddr) -> u64 {
+        assert!(self.contains(addr), "{addr} outside {self:?}");
+        addr - self.base
+    }
+}
+
+impl fmt::Display for AddrRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.base, self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_math() {
+        let a = PhysAddr::new(0x1fff);
+        assert_eq!(a.line(), PhysAddr::new(0x1fc0));
+        assert_eq!(a.line_offset(), 0x3f);
+        assert!(!a.is_line_aligned());
+        assert!(a.line().is_line_aligned());
+    }
+
+    #[test]
+    fn page_math() {
+        let a = PhysAddr::new(0x12345);
+        assert_eq!(a.page(4096), PhysAddr::new(0x12000));
+        assert_eq!(a.page(2 * 1024 * 1024), PhysAddr::new(0x0));
+    }
+
+    #[test]
+    fn range_contains_and_overlaps() {
+        let r = AddrRange::new(PhysAddr::new(0x1000), 0x1000);
+        assert!(r.contains(PhysAddr::new(0x1000)));
+        assert!(r.contains(PhysAddr::new(0x1fff)));
+        assert!(!r.contains(PhysAddr::new(0x2000)));
+        let s = AddrRange::new(PhysAddr::new(0x1800), 0x1000);
+        assert!(r.overlaps(s));
+        let t = AddrRange::new(PhysAddr::new(0x2000), 0x1000);
+        assert!(!r.overlaps(t));
+        assert_eq!(r.offset_of(PhysAddr::new(0x1800)), 0x800);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_range_rejected() {
+        let _ = AddrRange::new(PhysAddr::new(0), 0);
+    }
+
+    #[test]
+    fn addr_arithmetic() {
+        let a = PhysAddr::new(100);
+        assert_eq!((a + 28).raw(), 128);
+        assert_eq!(PhysAddr::new(128) - a, 28);
+        assert_eq!(a.checked_add(u64::MAX), None);
+    }
+}

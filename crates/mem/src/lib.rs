@@ -1,0 +1,18 @@
+//! Memory substrate for SimCXL: physical addresses, DRAM timing models and
+//! the unified [`MemoryInterface`] that routes requests to host or device
+//! memory by physical address range (paper §IV-B3).
+//!
+//! The paper's simulator reuses gem5's DDR/NVM/HBM memory models; here we
+//! implement an equivalent bank/row/channel timing model from scratch in
+//! [`dram`], with presets for DDR4-3200, DDR5-4400, DDR5-4800, HBM2 and
+//! NVM. The [`iface::MemoryInterface`] mirrors SimCXL's "memory interface"
+//! module: it owns one or more memories, each claiming a physical address
+//! range, and forwards accesses while accounting time.
+
+pub mod addr;
+pub mod dram;
+pub mod iface;
+
+pub use addr::{AddrRange, PhysAddr, CACHELINE_BYTES};
+pub use dram::{DramConfig, DramKind, DramModel};
+pub use iface::{MemoryId, MemoryInterface};

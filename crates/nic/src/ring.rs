@@ -1,0 +1,129 @@
+//! Descriptor rings (RX/TX queues and host/NIC notification rings).
+
+/// A bounded single-producer single-consumer descriptor ring with
+/// head/tail indices, as used by the RpcNIC host ring and the RAO RX
+/// queue.
+#[derive(Debug, Clone)]
+pub struct DescriptorRing<T> {
+    slots: Vec<Option<T>>,
+    head: u64,
+    tail: u64,
+}
+
+impl<T> DescriptorRing<T> {
+    /// Creates a ring with `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `capacity` is a nonzero power of two.
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity > 0 && capacity.is_power_of_two(),
+            "ring capacity must be a nonzero power of two"
+        );
+        DescriptorRing {
+            slots: (0..capacity).map(|_| None).collect(),
+            head: 0,
+            tail: 0,
+        }
+    }
+
+    /// Capacity in slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        (self.head - self.tail) as usize
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    /// Whether the ring is full.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.capacity()
+    }
+
+    /// Producer side: pushes a descriptor and advances the head.
+    /// Returns `false` (without pushing) when full.
+    pub fn push(&mut self, desc: T) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        let idx = (self.head as usize) & (self.capacity() - 1);
+        self.slots[idx] = Some(desc);
+        self.head += 1;
+        true
+    }
+
+    /// Consumer side: pops the oldest descriptor and advances the tail.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.is_empty() {
+            return None;
+        }
+        let idx = (self.tail as usize) & (self.capacity() - 1);
+        self.tail += 1;
+        self.slots[idx].take()
+    }
+
+    /// Producer's head index (the value a doorbell write would carry).
+    pub fn head(&self) -> u64 {
+        self.head
+    }
+
+    /// Consumer's tail index.
+    pub fn tail(&self) -> u64 {
+        self.tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut r = DescriptorRing::new(4);
+        for i in 0..4 {
+            assert!(r.push(i));
+        }
+        assert!(r.is_full());
+        assert!(!r.push(99));
+        for i in 0..4 {
+            assert_eq!(r.pop(), Some(i));
+        }
+        assert!(r.is_empty());
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn wraparound() {
+        let mut r = DescriptorRing::new(2);
+        for round in 0..100 {
+            assert!(r.push(round));
+            assert_eq!(r.pop(), Some(round));
+        }
+        assert_eq!(r.head(), 100);
+        assert_eq!(r.tail(), 100);
+    }
+
+    #[test]
+    fn len_tracks_occupancy() {
+        let mut r = DescriptorRing::new(8);
+        r.push('a');
+        r.push('b');
+        assert_eq!(r.len(), 2);
+        r.pop();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_rejected() {
+        let _ = DescriptorRing::<u8>::new(3);
+    }
+}

@@ -1,0 +1,227 @@
+//! PCI configuration space and BIOS-style BAR enumeration.
+//!
+//! Paper §IV-B1: "The CXL.io sub-protocol handles device enumeration and
+//! configuration during system initialization. The BIOS performs CXL.io
+//! configuration reads to determine the size of each BAR register space,
+//! maps the corresponding physical address range, and writes the base
+//! addresses back via configuration writes."
+
+use simcxl_mem::{AddrRange, PhysAddr};
+use std::fmt;
+
+/// What a BAR window maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BarKind {
+    /// Memory-mapped I/O registers (doorbells, rings).
+    Mmio,
+    /// Device-attached memory exposed to the host (CXL.mem-style window).
+    DeviceMemory,
+}
+
+/// One base address register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bar {
+    /// Window kind.
+    pub kind: BarKind,
+    /// Window size in bytes (must be a power of two, ≥ 4 KiB).
+    pub size: u64,
+    /// Assigned base, once enumerated.
+    pub base: Option<PhysAddr>,
+}
+
+impl Bar {
+    /// Declares an unassigned BAR.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size` is a power of two of at least 4 KiB.
+    pub fn new(kind: BarKind, size: u64) -> Self {
+        assert!(
+            size.is_power_of_two() && size >= 4096,
+            "BAR size must be a power of two >= 4096, got {size}"
+        );
+        Bar {
+            kind,
+            size,
+            base: None,
+        }
+    }
+
+    /// The mapped range, if enumerated.
+    pub fn range(&self) -> Option<AddrRange> {
+        self.base.map(|b| AddrRange::new(b, self.size))
+    }
+}
+
+/// Type-0 configuration-space header for one endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigSpace {
+    /// Vendor id (e.g. 0x8086).
+    pub vendor_id: u16,
+    /// Device id.
+    pub device_id: u16,
+    /// Class code (0x0502 would be a CXL memory device, etc.).
+    pub class: u16,
+    /// Base address registers (up to 6).
+    pub bars: Vec<Bar>,
+}
+
+impl ConfigSpace {
+    /// Creates a header with no BARs.
+    pub fn new(vendor_id: u16, device_id: u16, class: u16) -> Self {
+        ConfigSpace {
+            vendor_id,
+            device_id,
+            class,
+            bars: Vec::new(),
+        }
+    }
+
+    /// Declares a BAR; returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if six BARs already exist.
+    pub fn add_bar(&mut self, bar: Bar) -> usize {
+        assert!(self.bars.len() < 6, "PCI headers have at most 6 BARs");
+        self.bars.push(bar);
+        self.bars.len() - 1
+    }
+
+    /// The "write all-ones, read back" sizing probe: returns the mask a
+    /// real BIOS would observe for BAR `idx`.
+    pub fn sizing_mask(&self, idx: usize) -> u64 {
+        !(self.bars[idx].size - 1)
+    }
+}
+
+/// Identifies an enumerated device on the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub usize);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "00:{:02x}.0", self.0)
+    }
+}
+
+/// A root-port bus that enumerates endpoints and assigns BAR windows.
+#[derive(Debug, Default)]
+pub struct PcieBus {
+    devices: Vec<ConfigSpace>,
+    next_base: u64,
+}
+
+impl PcieBus {
+    /// Creates a bus that allocates MMIO/device windows upward from
+    /// `mmio_base` (the BIOS's PCI hole).
+    pub fn new(mmio_base: PhysAddr) -> Self {
+        PcieBus {
+            devices: Vec::new(),
+            next_base: mmio_base.raw(),
+        }
+    }
+
+    /// Attaches an endpoint (before enumeration).
+    pub fn attach(&mut self, config: ConfigSpace) -> DeviceId {
+        self.devices.push(config);
+        DeviceId(self.devices.len() - 1)
+    }
+
+    /// Enumerates every device: sizes each BAR, allocates a
+    /// naturally-aligned window and writes the base back.
+    pub fn enumerate(&mut self) {
+        for dev in &mut self.devices {
+            for bar in &mut dev.bars {
+                if bar.base.is_some() {
+                    continue;
+                }
+                // Natural alignment.
+                let aligned = self.next_base.div_ceil(bar.size) * bar.size;
+                bar.base = Some(PhysAddr::new(aligned));
+                self.next_base = aligned + bar.size;
+            }
+        }
+    }
+
+    /// Configuration space of `id`.
+    pub fn device(&self, id: DeviceId) -> &ConfigSpace {
+        &self.devices[id.0]
+    }
+
+    /// Finds which device+BAR maps `addr`, if any.
+    pub fn decode(&self, addr: PhysAddr) -> Option<(DeviceId, usize)> {
+        for (d, dev) in self.devices.iter().enumerate() {
+            for (b, bar) in dev.bars.iter().enumerate() {
+                if bar.range().is_some_and(|r| r.contains(addr)) {
+                    return Some((DeviceId(d), b));
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of attached devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the bus has no devices.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nic_config() -> ConfigSpace {
+        let mut c = ConfigSpace::new(0x8086, 0x0d58, 0x0200);
+        c.add_bar(Bar::new(BarKind::Mmio, 64 * 1024));
+        c.add_bar(Bar::new(BarKind::DeviceMemory, 1 << 30));
+        c
+    }
+
+    #[test]
+    fn sizing_mask_matches_size() {
+        let c = nic_config();
+        assert_eq!(c.sizing_mask(0), !(64 * 1024 - 1));
+        assert_eq!(c.sizing_mask(1), !((1u64 << 30) - 1));
+    }
+
+    #[test]
+    fn enumeration_assigns_aligned_windows() {
+        let mut bus = PcieBus::new(PhysAddr::new(0xc000_0000));
+        let id = bus.attach(nic_config());
+        bus.enumerate();
+        let dev = bus.device(id);
+        for bar in &dev.bars {
+            let base = bar.base.expect("assigned").raw();
+            assert_eq!(base % bar.size, 0, "unaligned BAR at {base:#x}");
+        }
+        let r0 = dev.bars[0].range().unwrap();
+        let r1 = dev.bars[1].range().unwrap();
+        assert!(!r0.overlaps(r1));
+    }
+
+    #[test]
+    fn decode_finds_owner() {
+        let mut bus = PcieBus::new(PhysAddr::new(0xc000_0000));
+        let a = bus.attach(nic_config());
+        let b = bus.attach(nic_config());
+        bus.enumerate();
+        let base_b = bus.device(b).bars[0].base.unwrap();
+        assert_eq!(bus.decode(base_b + 8), Some((b, 0)));
+        let base_a = bus.device(a).bars[1].base.unwrap();
+        assert_eq!(bus.decode(base_a), Some((a, 1)));
+        assert_eq!(bus.decode(PhysAddr::new(0)), None);
+        assert_eq!(bus.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_bar_rejected() {
+        let _ = Bar::new(BarKind::Mmio, 1024);
+    }
+}

@@ -1,0 +1,145 @@
+//! Strictly-ordered MMIO.
+//!
+//! Paper §II-A1: "PCIe's high per-transaction latency and strict
+//! write-ordering, which allows only one outstanding write, limit the
+//! MMIO performance." Reads are uncached round trips; writes are posted
+//! but serialized: a write may not leave the core until the previous one
+//! is acknowledged at the device.
+
+use crate::link::PcieLinkConfig;
+use sim_core::Tick;
+
+/// Configuration of an [`MmioPort`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MmioConfig {
+    /// One-way link latency to the device.
+    pub link_latency: Tick,
+    /// Device-side register access time.
+    pub device_latency: Tick,
+}
+
+impl MmioConfig {
+    /// Derives MMIO timing from a PCIe link configuration.
+    pub fn from_link(link: &PcieLinkConfig) -> Self {
+        MmioConfig {
+            link_latency: link.latency,
+            device_latency: Tick::from_ns(20),
+        }
+    }
+}
+
+/// An uncached register window with one-outstanding-write ordering.
+///
+/// ```
+/// use simcxl_pcie::{MmioConfig, MmioPort};
+/// use sim_core::Tick;
+///
+/// let mut p = MmioPort::new(MmioConfig {
+///     link_latency: Tick::from_ns(200),
+///     device_latency: Tick::from_ns(20),
+/// });
+/// let w1 = p.write(Tick::ZERO);
+/// let w2 = p.write(Tick::ZERO); // must wait for w1's ack
+/// assert!(w2 > w1 * 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MmioPort {
+    cfg: MmioConfig,
+    write_free_at: Tick,
+    reads: u64,
+    writes: u64,
+}
+
+impl MmioPort {
+    /// Creates an idle port.
+    pub fn new(cfg: MmioConfig) -> Self {
+        MmioPort {
+            cfg,
+            write_free_at: Tick::ZERO,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// An uncached read: full round trip. Returns data-available time.
+    pub fn read(&mut self, now: Tick) -> Tick {
+        self.reads += 1;
+        now + self.cfg.link_latency * 2 + self.cfg.device_latency
+    }
+
+    /// A write: reaches the device after one traversal, but the *next*
+    /// write may not start until this one's ack returns. Returns the time
+    /// the write is visible at the device.
+    pub fn write(&mut self, now: Tick) -> Tick {
+        self.writes += 1;
+        let start = now.max(self.write_free_at);
+        let at_device = start + self.cfg.link_latency + self.cfg.device_latency;
+        // Ack travels back before the next write may issue.
+        self.write_free_at = at_device + self.cfg.link_latency;
+        at_device
+    }
+
+    /// Number of reads issued.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of writes issued.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Resets ordering state and counters.
+    pub fn reset(&mut self) {
+        self.write_free_at = Tick::ZERO;
+        self.reads = 0;
+        self.writes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn port() -> MmioPort {
+        MmioPort::new(MmioConfig {
+            link_latency: Tick::from_ns(200),
+            device_latency: Tick::from_ns(20),
+        })
+    }
+
+    #[test]
+    fn read_is_round_trip() {
+        let mut p = port();
+        assert_eq!(p.read(Tick::ZERO), Tick::from_ns(420));
+        assert_eq!(p.reads(), 1);
+    }
+
+    #[test]
+    fn writes_serialize() {
+        let mut p = port();
+        let w1 = p.write(Tick::ZERO);
+        assert_eq!(w1, Tick::from_ns(220));
+        let w2 = p.write(Tick::ZERO);
+        // Second write waits for w1's ack at 420 ns, lands at 640 ns.
+        assert_eq!(w2, Tick::from_ns(640));
+        assert_eq!(p.writes(), 2);
+    }
+
+    #[test]
+    fn spaced_writes_do_not_stall() {
+        let mut p = port();
+        let _ = p.write(Tick::ZERO);
+        let w2 = p.write(Tick::from_us(1));
+        assert_eq!(w2, Tick::from_us(1) + Tick::from_ns(220));
+    }
+
+    #[test]
+    fn reset_restores_idle() {
+        let mut p = port();
+        p.write(Tick::ZERO);
+        p.reset();
+        assert_eq!(p.write(Tick::ZERO), Tick::from_ns(220));
+        assert_eq!(p.writes(), 1);
+    }
+}

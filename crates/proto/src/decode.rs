@@ -1,0 +1,255 @@
+//! Wire-format decoding (deserialization).
+
+use crate::schema::{FieldType, MessageRef, Schema};
+use crate::value::{MessageValue, Value};
+use crate::wire::{get_tag, get_varint, unzigzag, WireType};
+use std::fmt;
+
+/// Decoding failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended inside a value.
+    Truncated,
+    /// A tag used an unsupported or reserved wire type.
+    BadWireType,
+    /// A field number is absent from the schema.
+    UnknownField(u32),
+    /// Wire type disagrees with the schema's field type.
+    TypeMismatch(u32),
+    /// A string field held invalid UTF-8.
+    BadUtf8(u32),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => f.write_str("input truncated"),
+            DecodeError::BadWireType => f.write_str("reserved wire type"),
+            DecodeError::UnknownField(n) => write!(f, "unknown field {n}"),
+            DecodeError::TypeMismatch(n) => write!(f, "wire type mismatch on field {n}"),
+            DecodeError::BadUtf8(n) => write!(f, "invalid utf-8 in string field {n}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Deserializes `buf` against `schema`'s root type.
+///
+/// # Errors
+///
+/// Any [`DecodeError`]; the input is not consumed partially.
+pub fn decode(schema: &Schema, buf: &[u8]) -> Result<MessageValue, DecodeError> {
+    decode_message(schema, schema.root(), buf)
+}
+
+fn decode_message(schema: &Schema, r: MessageRef, mut buf: &[u8]) -> Result<MessageValue, DecodeError> {
+    let desc = schema.message(r);
+    let mut msg = MessageValue::new();
+    while !buf.is_empty() {
+        let (number, wt, n) = match get_tag(buf) {
+            Some(t) => t,
+            None => {
+                // Distinguish truncation from a reserved wire type.
+                return Err(if get_varint(buf).is_none() {
+                    DecodeError::Truncated
+                } else {
+                    DecodeError::BadWireType
+                });
+            }
+        };
+        buf = &buf[n..];
+        let field = desc.field(number).ok_or(DecodeError::UnknownField(number))?;
+        let value = match (wt, field.ty) {
+            (WireType::Varint, FieldType::SInt64) => {
+                let (v, n) = get_varint(buf).ok_or(DecodeError::Truncated)?;
+                buf = &buf[n..];
+                Value::SInt64(unzigzag(v))
+            }
+            (WireType::Varint, FieldType::UInt64) => {
+                let (v, n) = get_varint(buf).ok_or(DecodeError::Truncated)?;
+                buf = &buf[n..];
+                Value::UInt64(v)
+            }
+            (WireType::Varint, FieldType::Bool) => {
+                let (v, n) = get_varint(buf).ok_or(DecodeError::Truncated)?;
+                buf = &buf[n..];
+                Value::Bool(v != 0)
+            }
+            (WireType::Fixed64, FieldType::Fixed64) => {
+                if buf.len() < 8 {
+                    return Err(DecodeError::Truncated);
+                }
+                let v = u64::from_le_bytes(buf[..8].try_into().expect("checked"));
+                buf = &buf[8..];
+                Value::Fixed64(v)
+            }
+            (WireType::Fixed32, FieldType::Fixed32) => {
+                if buf.len() < 4 {
+                    return Err(DecodeError::Truncated);
+                }
+                let v = u32::from_le_bytes(buf[..4].try_into().expect("checked"));
+                buf = &buf[4..];
+                Value::Fixed32(v)
+            }
+            (WireType::LengthDelimited, ty) if ty.is_length_delimited() => {
+                let (len, n) = get_varint(buf).ok_or(DecodeError::Truncated)?;
+                buf = &buf[n..];
+                let len = len as usize;
+                if buf.len() < len {
+                    return Err(DecodeError::Truncated);
+                }
+                let body = &buf[..len];
+                buf = &buf[len..];
+                match ty {
+                    FieldType::Str => Value::Str(
+                        std::str::from_utf8(body)
+                            .map_err(|_| DecodeError::BadUtf8(number))?
+                            .to_owned(),
+                    ),
+                    FieldType::Bytes => Value::Bytes(body.to_vec()),
+                    FieldType::Message(nested) => {
+                        Value::Message(decode_message(schema, nested, body)?)
+                    }
+                    _ => unreachable!("guard"),
+                }
+            }
+            _ => return Err(DecodeError::TypeMismatch(number)),
+        };
+        msg.push(number, value);
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::schema::{FieldDescriptor, MessageDescriptor};
+
+    fn schema() -> Schema {
+        let inner = MessageDescriptor {
+            name: "Inner".into(),
+            fields: vec![
+                FieldDescriptor {
+                    number: 1,
+                    name: "v".into(),
+                    ty: FieldType::SInt64,
+                    repeated: false,
+                },
+                FieldDescriptor {
+                    number: 2,
+                    name: "b".into(),
+                    ty: FieldType::Bytes,
+                    repeated: true,
+                },
+            ],
+        };
+        let root = MessageDescriptor {
+            name: "Root".into(),
+            fields: vec![
+                FieldDescriptor {
+                    number: 1,
+                    name: "id".into(),
+                    ty: FieldType::Fixed64,
+                    repeated: false,
+                },
+                FieldDescriptor {
+                    number: 2,
+                    name: "name".into(),
+                    ty: FieldType::Str,
+                    repeated: false,
+                },
+                FieldDescriptor {
+                    number: 3,
+                    name: "inner".into(),
+                    ty: FieldType::Message(MessageRef(1)),
+                    repeated: true,
+                },
+                FieldDescriptor {
+                    number: 4,
+                    name: "flag".into(),
+                    ty: FieldType::Bool,
+                    repeated: false,
+                },
+                FieldDescriptor {
+                    number: 5,
+                    name: "small".into(),
+                    ty: FieldType::Fixed32,
+                    repeated: false,
+                },
+            ],
+        };
+        Schema::new(vec![root, inner], MessageRef(0))
+    }
+
+    fn sample() -> MessageValue {
+        let mut inner = MessageValue::new();
+        inner.push(1, Value::SInt64(-42));
+        inner.push(2, Value::Bytes(vec![1, 2, 3]));
+        let mut m = MessageValue::new();
+        m.push(1, Value::Fixed64(0xdead_beef))
+            .push(2, Value::Str("svc.Method".into()))
+            .push(3, Value::Message(inner.clone()))
+            .push(3, Value::Message(inner))
+            .push(4, Value::Bool(true))
+            .push(5, Value::Fixed32(7));
+        m
+    }
+
+    #[test]
+    fn round_trip() {
+        let s = schema();
+        let m = sample();
+        let bytes = encode(&s, &m);
+        let back = decode(&s, &bytes).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let s = schema();
+        let bytes = encode(&s, &sample());
+        for cut in 1..bytes.len() {
+            match decode(&s, &bytes[..cut]) {
+                Err(_) => {}
+                Ok(m) => {
+                    // A clean field boundary: prefix decodes to a prefix
+                    // of the fields, never to garbage.
+                    assert!(m.total_fields() <= sample().total_fields());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_field_rejected() {
+        let s = schema();
+        // Field 15 varint.
+        let bytes = vec![0x78, 0x01];
+        assert_eq!(decode(&s, &bytes), Err(DecodeError::UnknownField(15)));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let s = schema();
+        // Field 1 declared Fixed64 but encoded as varint.
+        let bytes = vec![0x08, 0x05];
+        assert_eq!(decode(&s, &bytes), Err(DecodeError::TypeMismatch(1)));
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let s = schema();
+        // Field 2 (Str), length 2, invalid UTF-8.
+        let bytes = vec![0x12, 0x02, 0xff, 0xfe];
+        assert_eq!(decode(&s, &bytes), Err(DecodeError::BadUtf8(2)));
+    }
+
+    #[test]
+    fn empty_input_is_empty_message() {
+        let s = schema();
+        let m = decode(&s, &[]).unwrap();
+        assert_eq!(m.fields.len(), 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Clock domains: convert component cycles to global ticks.
+
+use crate::{Freq, Tick};
+
+/// A clock domain with a fixed frequency.
+///
+/// Components express their internal latencies in cycles; a `Clock`
+/// converts those to picosecond [`Tick`]s and aligns times to clock edges.
+///
+/// ```
+/// use sim_core::{Clock, Freq, Tick};
+/// let clk = Clock::new(Freq::mhz(400)); // 2.5 ns period
+/// assert_eq!(clk.cycles(4), Tick::from_ns(10));
+/// assert_eq!(clk.cycles_for(Tick::from_ns(10)), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Clock {
+    freq: Freq,
+    period: Tick,
+}
+
+impl Clock {
+    /// Creates a clock with the given frequency.
+    pub fn new(freq: Freq) -> Self {
+        Clock {
+            freq,
+            period: freq.period(),
+        }
+    }
+
+    /// The clock frequency.
+    pub fn freq(&self) -> Freq {
+        self.freq
+    }
+
+    /// Duration of one cycle.
+    pub fn period(&self) -> Tick {
+        self.period
+    }
+
+    /// Duration of `n` cycles.
+    pub fn cycles(&self, n: u64) -> Tick {
+        self.period * n
+    }
+
+    /// Number of whole cycles that fit in `span` (rounded up).
+    pub fn cycles_for(&self, span: Tick) -> u64 {
+        let p = self.period.as_ps();
+        span.as_ps().div_ceil(p)
+    }
+
+    /// The first clock edge at or after `now`.
+    pub fn next_edge(&self, now: Tick) -> Tick {
+        let p = self.period.as_ps();
+        let r = now.as_ps() % p;
+        if r == 0 {
+            now
+        } else {
+            Tick::from_ps(now.as_ps() + (p - r))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_durations() {
+        let clk = Clock::new(Freq::ghz(1));
+        assert_eq!(clk.cycles(0), Tick::ZERO);
+        assert_eq!(clk.cycles(7), Tick::from_ns(7));
+        assert_eq!(clk.period(), Tick::from_ns(1));
+    }
+
+    #[test]
+    fn cycles_for_rounds_up() {
+        let clk = Clock::new(Freq::mhz(400));
+        assert_eq!(clk.cycles_for(Tick::from_ns(2)), 1);
+        assert_eq!(clk.cycles_for(Tick::from_ps(2_500)), 1);
+        assert_eq!(clk.cycles_for(Tick::from_ps(2_501)), 2);
+    }
+
+    #[test]
+    fn edge_alignment() {
+        let clk = Clock::new(Freq::mhz(400)); // 2500 ps
+        assert_eq!(clk.next_edge(Tick::ZERO), Tick::ZERO);
+        assert_eq!(clk.next_edge(Tick::from_ps(2_500)), Tick::from_ps(2_500));
+        assert_eq!(clk.next_edge(Tick::from_ps(2_501)), Tick::from_ps(5_000));
+        assert_eq!(clk.next_edge(Tick::from_ps(1)), Tick::from_ps(2_500));
+    }
+}

@@ -1,0 +1,157 @@
+//! A stable-order event queue.
+
+use crate::Tick;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    tick: Tick,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.tick == other.tick && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest tick pops first,
+        // breaking ties by insertion order (FIFO) for determinism.
+        other
+            .tick
+            .cmp(&self.tick)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of timestamped events with deterministic FIFO tie-break.
+///
+/// Events pushed at the same [`Tick`] pop in insertion order, which keeps
+/// whole-system simulations reproducible run to run.
+///
+/// ```
+/// use sim_core::{EventQueue, Tick};
+/// let mut q = EventQueue::new();
+/// q.push(Tick::from_ns(1), 'x');
+/// q.push(Tick::from_ns(1), 'y');
+/// assert_eq!(q.pop(), Some((Tick::from_ns(1), 'x')));
+/// assert_eq!(q.pop(), Some((Tick::from_ns(1), 'y')));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at `tick`.
+    pub fn push(&mut self, tick: Tick, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { tick, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Tick, E)> {
+        self.heap.pop().map(|e| (e.tick, e.payload))
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_tick(&self) -> Option<Tick> {
+        self.heap.peek().map(|e| e.tick)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("next_tick", &self.peek_tick())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_tick() {
+        let mut q = EventQueue::new();
+        q.push(Tick::from_ns(30), 3);
+        q.push(Tick::from_ns(10), 1);
+        q.push(Tick::from_ns(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Tick::from_ns(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_tick(), None);
+        q.push(Tick::from_ns(9), ());
+        q.push(Tick::from_ns(4), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_tick(), Some(Tick::from_ns(4)));
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Tick::from_ns(10), 'a');
+        q.push(Tick::from_ns(5), 'b');
+        assert_eq!(q.pop().unwrap().1, 'b');
+        q.push(Tick::from_ns(1), 'c');
+        assert_eq!(q.pop().unwrap().1, 'c');
+        assert_eq!(q.pop().unwrap().1, 'a');
+    }
+}

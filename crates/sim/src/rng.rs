@@ -1,0 +1,147 @@
+//! Deterministic random number generation for reproducible simulations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random source shared by workload generators and jitter models.
+///
+/// Wraps [`rand::rngs::StdRng`] so every experiment in the repository can
+/// be replayed bit-for-bit from a `u64` seed.
+///
+/// ```
+/// use sim_core::SimRng;
+/// let mut a = SimRng::new(7);
+/// let mut b = SimRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.inner.gen::<f64>() < p
+    }
+
+    /// A sample from an approximately normal distribution with the given
+    /// mean and standard deviation (sum of uniforms; adequate for latency
+    /// jitter, no tails beyond ±6σ needed).
+    pub fn normal(&mut self, mean: f64, stddev: f64) -> f64 {
+        // Irwin–Hall with n=12 gives variance 1 and mean 6.
+        let s: f64 = (0..12).map(|_| self.inner.gen::<f64>()).sum();
+        mean + (s - 6.0) * stddev
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Access the underlying [`rand::Rng`] implementation.
+    pub fn raw(&mut self) -> &mut impl Rng {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        let va: Vec<u64> = (0..32).map(|_| a.below(1000)).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.below(1000)).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SimRng::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn normal_is_centered() {
+        let mut r = SimRng::new(4);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.normal(100.0, 10.0)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 0.5, "mean drifted: {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::new(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(6);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

@@ -1,0 +1,272 @@
+//! Simulated time: [`Tick`] (one picosecond, like gem5) and [`Freq`].
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) simulated time, in picoseconds.
+///
+/// `Tick` is an integer newtype so that component latencies compose without
+/// floating-point drift; conversions to nanoseconds/microseconds are
+/// provided for reporting.
+///
+/// ```
+/// use sim_core::Tick;
+/// let t = Tick::from_ns(2) + Tick::from_ps(500);
+/// assert_eq!(t.as_ps(), 2_500);
+/// assert!((t.as_ns_f64() - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tick(u64);
+
+impl Tick {
+    /// Time zero.
+    pub const ZERO: Tick = Tick(0);
+    /// The largest representable time; used as "never".
+    pub const MAX: Tick = Tick(u64::MAX);
+
+    /// Creates a tick count from picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        Tick(ps)
+    }
+
+    /// Creates a tick count from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        Tick(ns * 1_000)
+    }
+
+    /// Creates a tick count from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        Tick(us * 1_000_000)
+    }
+
+    /// Creates a tick count from a (non-negative, finite) nanosecond value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative, NaN, or too large for a `u64` of
+    /// picoseconds.
+    pub fn from_ns_f64(ns: f64) -> Self {
+        assert!(ns.is_finite() && ns >= 0.0, "invalid nanosecond value {ns}");
+        let ps = ns * 1_000.0;
+        assert!(ps <= u64::MAX as f64, "tick overflow: {ns} ns");
+        Tick(ps.round() as u64)
+    }
+
+    /// Raw picosecond count.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Time in nanoseconds, rounded down.
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Time in nanoseconds as a float (for reporting).
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Time in microseconds as a float (for reporting).
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Time in seconds as a float (for bandwidth math).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Tick) -> Tick {
+        Tick(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub fn checked_add(self, rhs: Tick) -> Option<Tick> {
+        self.0.checked_add(rhs.0).map(Tick)
+    }
+
+    /// The later of two times.
+    pub fn max(self, rhs: Tick) -> Tick {
+        Tick(self.0.max(rhs.0))
+    }
+
+    /// The earlier of two times.
+    pub fn min(self, rhs: Tick) -> Tick {
+        Tick(self.0.min(rhs.0))
+    }
+}
+
+impl Add for Tick {
+    type Output = Tick;
+    fn add(self, rhs: Tick) -> Tick {
+        Tick(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Tick {
+    fn add_assign(&mut self, rhs: Tick) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Tick {
+    type Output = Tick;
+    fn sub(self, rhs: Tick) -> Tick {
+        Tick(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Tick {
+    fn sub_assign(&mut self, rhs: Tick) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Tick {
+    type Output = Tick;
+    fn mul(self, rhs: u64) -> Tick {
+        Tick(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Tick {
+    type Output = Tick;
+    fn div(self, rhs: u64) -> Tick {
+        Tick(self.0 / rhs)
+    }
+}
+
+impl Sum for Tick {
+    fn sum<I: Iterator<Item = Tick>>(iter: I) -> Tick {
+        iter.fold(Tick::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Tick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ns", self.as_ns_f64())
+        } else {
+            write!(f, "{}ps", self.0)
+        }
+    }
+}
+
+/// A clock frequency in hertz.
+///
+/// ```
+/// use sim_core::Freq;
+/// let f = Freq::mhz(400);
+/// assert_eq!(f.period().as_ps(), 2_500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Freq(u64);
+
+impl Freq {
+    /// Creates a frequency from hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is zero.
+    pub fn hz(hz: u64) -> Self {
+        assert!(hz > 0, "frequency must be nonzero");
+        Freq(hz)
+    }
+
+    /// Creates a frequency from megahertz.
+    pub fn mhz(mhz: u64) -> Self {
+        Self::hz(mhz * 1_000_000)
+    }
+
+    /// Creates a frequency from gigahertz.
+    pub fn ghz(ghz: u64) -> Self {
+        Self::hz(ghz * 1_000_000_000)
+    }
+
+    /// Raw hertz.
+    pub const fn as_hz(self) -> u64 {
+        self.0
+    }
+
+    /// The period of one cycle, rounded to the nearest picosecond.
+    pub fn period(self) -> Tick {
+        Tick::from_ps(((1e12 / self.0 as f64) + 0.5) as u64)
+    }
+}
+
+impl fmt::Display for Freq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_multiple_of(1_000_000_000) {
+            write!(f, "{}GHz", self.0 / 1_000_000_000)
+        } else if self.0.is_multiple_of(1_000_000) {
+            write!(f, "{}MHz", self.0 / 1_000_000)
+        } else {
+            write!(f, "{}Hz", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_conversions_round_trip() {
+        assert_eq!(Tick::from_ns(3).as_ps(), 3_000);
+        assert_eq!(Tick::from_us(2).as_ns(), 2_000);
+        assert_eq!(Tick::from_ps(1_500).as_ns(), 1);
+        assert!((Tick::from_ps(1_500).as_ns_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tick_arithmetic() {
+        let a = Tick::from_ns(10);
+        let b = Tick::from_ns(4);
+        assert_eq!(a + b, Tick::from_ns(14));
+        assert_eq!(a - b, Tick::from_ns(6));
+        assert_eq!(a * 3, Tick::from_ns(30));
+        assert_eq!(a / 2, Tick::from_ns(5));
+        assert_eq!(b.saturating_sub(a), Tick::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn tick_sum() {
+        let total: Tick = (1..=4).map(Tick::from_ns).sum();
+        assert_eq!(total, Tick::from_ns(10));
+    }
+
+    #[test]
+    fn tick_from_ns_f64_rounds() {
+        assert_eq!(Tick::from_ns_f64(1.2345).as_ps(), 1_235); // .5 rounds away
+        assert_eq!(Tick::from_ns_f64(0.0), Tick::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tick_from_ns_f64_rejects_negative() {
+        let _ = Tick::from_ns_f64(-1.0);
+    }
+
+    #[test]
+    fn freq_periods() {
+        assert_eq!(Freq::mhz(400).period().as_ps(), 2_500);
+        assert_eq!(Freq::ghz(1).period().as_ps(), 1_000);
+        assert_eq!(Freq::mhz(1500).period().as_ps(), 667);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Tick::from_ps(7).to_string(), "7ps");
+        assert_eq!(Tick::from_ns(7).to_string(), "7.000ns");
+        assert_eq!(Tick::from_us(7).to_string(), "7.000us");
+        assert_eq!(Freq::mhz(400).to_string(), "400MHz");
+        assert_eq!(Freq::ghz(2).to_string(), "2GHz");
+    }
+}

@@ -1,0 +1,63 @@
+//! The AXPY kernel (`Y = a*X + Y`) from the paper's programming-model
+//! comparison (Fig. 4).
+//!
+//! Values travel through the simulated memory system as `u64` words, so
+//! the kernel works on `f64` bit patterns.
+
+/// Reference (golden) AXPY on plain slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn golden(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "AXPY length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// One AXPY element step on raw bit patterns (what the simulated XPU
+/// compute units execute per element).
+pub fn step_bits(a: f64, x_bits: u64, y_bits: u64) -> u64 {
+    (a * f64::from_bits(x_bits) + f64::from_bits(y_bits)).to_bits()
+}
+
+/// Deterministic input data for an `n`-element AXPY problem.
+pub fn inputs(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let x: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5 + 1.0).collect();
+    let y: Vec<f64> = (0..n).map(|i| (i as f64) * -0.25 + 2.0).collect();
+    (x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_matches_manual() {
+        let (x, mut y) = inputs(4);
+        golden(2.0, &x, &mut y);
+        // y[i] = 2*(0.5 i + 1) + (-0.25 i + 2) = 0.75 i + 4
+        for (i, v) in y.iter().enumerate() {
+            assert!((v - (0.75 * i as f64 + 4.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn step_bits_matches_golden() {
+        let (x, y0) = inputs(64);
+        let mut y = y0.clone();
+        golden(3.5, &x, &mut y);
+        for i in 0..64 {
+            let bits = step_bits(3.5, x[i].to_bits(), y0[i].to_bits());
+            assert_eq!(bits, y[i].to_bits(), "element {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        let mut y = [0.0; 2];
+        golden(1.0, &[1.0, 2.0, 3.0], &mut y);
+    }
+}

@@ -1,0 +1,55 @@
+//! The paper's AXPY walkthrough (Fig. 4c): `Y = a*X + Y` with plain
+//! `malloc` and an OpenCL-style kernel launch, validated against a
+//! golden CPU implementation.
+//!
+//! Run with: `cargo run --example axpy_cohet`
+
+use cohet::prelude::*;
+use simcxl_workloads::axpy;
+
+const N: u64 = 256;
+const A: f64 = 2.5;
+
+fn main() -> Result<(), CohetError> {
+    let system = CohetSystem::builder().build();
+    let mut proc = system.spawn_process();
+
+    // 1. Allocate coherent memory for X and Y (Fig. 4c step 1).
+    let x = proc.malloc(N * 8)?;
+    let y = proc.malloc(N * 8)?;
+    let (x_data, y_data) = axpy::inputs(N as usize);
+    for i in 0..N {
+        proc.write_u64(x + i * 8, x_data[i as usize].to_bits())?;
+        proc.write_u64(y + i * 8, y_data[i as usize].to_bits())?;
+    }
+
+    // 2. Launch the AXPY kernel to a designated XPU (step 2). The kernel
+    // uses the same pointers the CPU initialized — no copies.
+    proc.launch_kernel(0, N, move |ctx, i| {
+        let xi = ctx.load(x + i * 8)?;
+        let yi = ctx.load(y + i * 8)?;
+        ctx.store(y + i * 8, axpy::step_bits(A, xi, yi))
+    })?;
+
+    // 3. CPU consumes Y directly (step 3).
+    let mut golden = y_data.clone();
+    axpy::golden(A, &x_data, &mut golden);
+    let mut max_err = 0.0f64;
+    for i in 0..N {
+        let got = f64::from_bits(proc.read_u64(y + i * 8)?);
+        max_err = max_err.max((got - golden[i as usize]).abs());
+    }
+    println!("AXPY over {N} elements: max |error| = {max_err:.3e}");
+    assert_eq!(max_err, 0.0, "bit-exact against golden");
+
+    let stats = proc.os_stats();
+    let (atc_hits, atc_misses) = proc.atc_stats(0);
+    println!(
+        "page faults: {}, XPU ATC hits/misses: {atc_hits}/{atc_misses}, time: {}",
+        stats.minor_faults,
+        proc.elapsed()
+    );
+    proc.free(x)?;
+    proc.free(y)?;
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Quickstart: the Cohet programming model in one minute.
+//!
+//! One `malloc`, one pointer, two compute pools: the CPU writes, the XPU
+//! reads and updates through the *same* virtual address, and hardware
+//! coherence (CXL.cache) keeps everyone honest — no `cudaMemcpy`, no
+//! pinned buffers, no explicit mappings (paper §III-B S4).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cohet::prelude::*;
+
+fn main() -> Result<(), CohetError> {
+    // Build a system with one CXL type-2 XPU and spawn a process.
+    let system = CohetSystem::builder().xpus(1).build();
+    let mut proc = system.spawn_process();
+
+    // Plain malloc: no physical frames yet (overcommit-friendly).
+    let counter = proc.malloc(4096)?;
+    println!("allocated shared buffer at {counter}");
+
+    // CPU initializes it...
+    proc.write_u64(counter, 100)?;
+
+    // ...the XPU increments it 8 times through the same pointer...
+    proc.launch_kernel(0, 8, move |ctx, _i| {
+        ctx.fetch_add(counter, 1)?;
+        Ok(())
+    })?;
+
+    // ...and the CPU reads the coherent result.
+    let v = proc.read_u64(counter)?;
+    println!("counter after CPU init + 8 XPU increments: {v}");
+    assert_eq!(v, 108);
+
+    let stats = proc.os_stats();
+    println!(
+        "page faults: {} (first touch only), simulated time: {}",
+        stats.minor_faults,
+        proc.elapsed()
+    );
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! Umbrella crate for the Cohet/SimCXL reproduction workspace.
+//!
+//! This crate exists to host the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). All functionality lives
+//! in the member crates; the most convenient entry point is [`cohet`].
+//!
+//! # Quick start
+//!
+//! ```
+//! use cohet::prelude::*;
+//!
+//! let mut system = CohetSystem::builder().build();
+//! let mut proc = system.spawn_process();
+//! let x = proc.malloc(4096).unwrap();
+//! proc.write_u64(x, 42).unwrap();
+//! assert_eq!(proc.read_u64(x).unwrap(), 42);
+//! ```
+
+pub use cohet;
+pub use cohet_os;
+pub use protowire;
+pub use sim_core;
+pub use simcxl_coherence;
+pub use simcxl_cxl;
+pub use simcxl_mem;
+pub use simcxl_nic;
+pub use simcxl_pcie;
+pub use simcxl_workloads;

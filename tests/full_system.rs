@@ -1,0 +1,114 @@
+//! Cross-crate integration tests: the whole stack from `malloc` to the
+//! coherence protocol and back.
+
+use cohet::prelude::*;
+use simcxl_workloads::axpy;
+
+#[test]
+fn axpy_end_to_end_is_bit_exact() {
+    let mut proc = CohetSystem::builder().build().spawn_process();
+    let n = 128u64;
+    let a = 3.25;
+    let x = proc.malloc(n * 8).unwrap();
+    let y = proc.malloc(n * 8).unwrap();
+    let (xd, yd) = axpy::inputs(n as usize);
+    for i in 0..n {
+        proc.write_u64(x + i * 8, xd[i as usize].to_bits()).unwrap();
+        proc.write_u64(y + i * 8, yd[i as usize].to_bits()).unwrap();
+    }
+    proc.launch_kernel(0, n, move |ctx, i| {
+        let xi = ctx.load(x + i * 8)?;
+        let yi = ctx.load(y + i * 8)?;
+        ctx.store(y + i * 8, axpy::step_bits(a, xi, yi))
+    })
+    .unwrap();
+    let mut golden = yd.clone();
+    axpy::golden(a, &xd, &mut golden);
+    for i in 0..n {
+        assert_eq!(
+            f64::from_bits(proc.read_u64(y + i * 8).unwrap()),
+            golden[i as usize],
+            "element {i}"
+        );
+    }
+}
+
+#[test]
+fn cpu_xpu_ping_pong_stays_coherent() {
+    let mut proc = CohetSystem::builder().build().spawn_process();
+    let p = proc.malloc(64).unwrap();
+    proc.write_u64(p, 0).unwrap();
+    for round in 0..20u64 {
+        // CPU writes, XPU must see it; XPU writes, CPU must see it.
+        proc.write_u64(p, round * 2).unwrap();
+        proc.launch_kernel(0, 1, move |ctx, _| {
+            let v = ctx.load(p)?;
+            ctx.store(p, v + 1)
+        })
+        .unwrap();
+        assert_eq!(proc.read_u64(p).unwrap(), round * 2 + 1, "round {round}");
+    }
+}
+
+#[test]
+fn two_xpus_and_cpu_share_an_atomic_counter() {
+    let mut proc = CohetSystem::builder().xpus(2).build().spawn_process();
+    let ctr = proc.malloc(8).unwrap();
+    proc.write_u64(ctr, 0).unwrap();
+    for _ in 0..15 {
+        proc.fetch_add(ctr, 1).unwrap();
+        for xpu in 0..2 {
+            proc.launch_kernel(xpu, 1, move |ctx, _| {
+                ctx.fetch_add(ctr, 1)?;
+                Ok(())
+            })
+            .unwrap();
+        }
+    }
+    assert_eq!(proc.read_u64(ctr).unwrap(), 45);
+}
+
+#[test]
+fn overcommit_and_free_cycle() {
+    let mut proc = CohetSystem::builder()
+        .host_memory(8 << 20)
+        .xpu_memory(8 << 20)
+        .build()
+        .spawn_process();
+    // Reserve far more than physical memory; touch only a slice.
+    let big = proc.malloc(1 << 30).unwrap();
+    for i in 0..64u64 {
+        proc.write_u64(big + i * 4096, i).unwrap();
+    }
+    for i in 0..64u64 {
+        assert_eq!(proc.read_u64(big + i * 4096).unwrap(), i);
+    }
+    assert_eq!(proc.os_stats().minor_faults, 64);
+    proc.free(big).unwrap();
+    // The frames are reusable afterwards.
+    let again = proc.malloc(1 << 20).unwrap();
+    proc.write_u64(again, 7).unwrap();
+    assert_eq!(proc.read_u64(again).unwrap(), 7);
+}
+
+#[test]
+fn asic_profile_is_faster_than_fpga() {
+    let run = |profile: DeviceProfile| {
+        let mut proc = CohetSystem::builder().profile(profile).build().spawn_process();
+        let buf = proc.malloc(4096).unwrap();
+        proc.launch_kernel(0, 64, move |ctx, i| ctx.store(buf + i * 8, i)).unwrap();
+        proc.elapsed()
+    };
+    let fpga = run(DeviceProfile::fpga_400mhz());
+    let asic = run(DeviceProfile::asic_1500mhz());
+    assert!(asic < fpga, "ASIC {asic} should beat FPGA {fpga}");
+}
+
+#[test]
+fn errors_surface_as_cohet_errors() {
+    let mut proc = CohetSystem::builder().build().spawn_process();
+    assert!(proc.read_u64(VirtAddr::new(0x40)).is_err());
+    let p = proc.malloc(64).unwrap();
+    proc.free(p).unwrap();
+    assert!(proc.free(p).is_err());
+}

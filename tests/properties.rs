@@ -1,0 +1,154 @@
+//! Property-based tests on the core data structures and invariants.
+
+use cohet_os::{PageTable, Pte, VirtAddr, PAGE_SIZE};
+use proptest::prelude::*;
+use protowire::{FieldDescriptor, FieldType, MessageDescriptor, MessageValue, Schema, Value};
+use protowire::schema::MessageRef;
+use simcxl_coherence::prelude::*;
+use simcxl_coherence::AtomicKind;
+use simcxl_mem::PhysAddr;
+use sim_core::Tick;
+
+fn flat_schema() -> Schema {
+    let root = MessageDescriptor {
+        name: "P".into(),
+        fields: vec![
+            FieldDescriptor {
+                number: 1,
+                name: "a".into(),
+                ty: FieldType::UInt64,
+                repeated: true,
+            },
+            FieldDescriptor {
+                number: 2,
+                name: "b".into(),
+                ty: FieldType::SInt64,
+                repeated: true,
+            },
+            FieldDescriptor {
+                number: 3,
+                name: "s".into(),
+                ty: FieldType::Bytes,
+                repeated: true,
+            },
+        ],
+    };
+    Schema::new(vec![root], MessageRef(0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any message built from arbitrary field values survives an
+    /// encode/decode round trip.
+    #[test]
+    fn wire_round_trip(
+        uints in prop::collection::vec(any::<u64>(), 0..8),
+        sints in prop::collection::vec(any::<i64>(), 0..8),
+        blobs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 0..4),
+    ) {
+        let schema = flat_schema();
+        let mut m = MessageValue::new();
+        for v in &uints { m.push(1, Value::UInt64(*v)); }
+        for v in &sints { m.push(2, Value::SInt64(*v)); }
+        for b in &blobs { m.push(3, Value::Bytes(b.clone())); }
+        let bytes = protowire::encode(&schema, &m);
+        prop_assert_eq!(bytes.len(), protowire::encode::encoded_len(&m));
+        let back = protowire::decode(&schema, &bytes).unwrap();
+        prop_assert_eq!(m, back);
+    }
+
+    /// Varints round-trip for every value.
+    #[test]
+    fn varint_round_trip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        protowire::wire::put_varint(&mut buf, v);
+        let (back, n) = protowire::wire::get_varint(&buf).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(n, buf.len());
+    }
+
+    /// The page table behaves like a map from pages to frames.
+    #[test]
+    fn page_table_models_a_map(
+        ops in prop::collection::vec((0u64..512, any::<bool>()), 1..64)
+    ) {
+        let mut pt = PageTable::new();
+        let mut model = std::collections::HashMap::new();
+        for (page, insert) in ops {
+            let va = VirtAddr::new(page * PAGE_SIZE);
+            if insert {
+                let pte = Pte {
+                    frame: PhysAddr::new(page * PAGE_SIZE + (1 << 30)),
+                    writable: true,
+                    node: cohet_os::NodeId(0),
+                    accesses: 0,
+                };
+                pt.map(va, pte);
+                model.insert(page, pte.frame);
+            } else {
+                pt.unmap(va);
+                model.remove(&page);
+            }
+        }
+        prop_assert_eq!(pt.mapped_pages() as usize, model.len());
+        for (page, frame) in model {
+            let va = VirtAddr::new(page * PAGE_SIZE);
+            prop_assert_eq!(pt.walk(va).map(|(p, _)| p.frame), Some(frame));
+        }
+    }
+
+    /// Under an arbitrary interleaving of loads/stores/atomics from two
+    /// agents, the coherence engine reaches quiescence with all
+    /// directory invariants intact and atomics summing exactly.
+    #[test]
+    fn coherence_invariants_hold_under_random_traffic(
+        ops in prop::collection::vec((0u8..4, 0u64..16, any::<u16>()), 1..80)
+    ) {
+        let mut eng = ProtocolEngine::builder().build();
+        let a = eng.add_cache(CacheConfig::cpu_l1());
+        let b = eng.add_cache(CacheConfig::hmc_128k());
+        let mut adds = 0u64;
+        let mut t = Tick::ZERO;
+        for (kind, line, val) in ops {
+            let agent = if val % 2 == 0 { a } else { b };
+            let addr = PhysAddr::new(0x4000 + line * 64);
+            let op = match kind {
+                0 => MemOp::Load,
+                1 => MemOp::Store { value: val as u64 },
+                2 => {
+                    adds += 1;
+                    MemOp::Rmw {
+                        kind: AtomicKind::FetchAdd,
+                        operand: 1,
+                        operand2: 0,
+                    }
+                }
+                _ => MemOp::NcPush { value: val as u64 },
+            };
+            eng.issue(agent, op, addr, t);
+            t += Tick::from_ns(val as u64 % 300);
+        }
+        let done = eng.run_to_quiescence();
+        prop_assert!(eng.is_quiescent());
+        eng.verify_invariants();
+        prop_assert_eq!(done.iter().filter(|c| matches!(c.op, MemOp::Rmw { .. })).count() as u64, adds);
+    }
+
+    /// CircusTent streams always target the configured footprint and
+    /// are deterministic in their seed.
+    #[test]
+    fn circustent_streams_well_formed(seed in any::<u64>(), ops in 1usize..256) {
+        use simcxl_workloads::circustent::{self, CtConfig, CtPattern};
+        let cfg = CtConfig { ops, seed, ..CtConfig::default() };
+        for p in CtPattern::all() {
+            let s1 = circustent::generate(p, cfg);
+            let s2 = circustent::generate(p, cfg);
+            prop_assert_eq!(&s1, &s2);
+            for op in &s1 {
+                prop_assert!(op.addr >= cfg.base);
+                prop_assert!(op.addr.raw() < cfg.base.raw() + cfg.footprint);
+            }
+        }
+    }
+}
