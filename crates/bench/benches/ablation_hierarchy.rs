@@ -3,9 +3,9 @@
 //! absorb as the node count scales.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use sim_core::{SimRng, Tick};
 use simcxl_coherence::hierarchy::{HierarchicalDirectory, HierarchyCost, NodeId};
 use simcxl_mem::PhysAddr;
-use sim_core::{SimRng, Tick};
 
 fn run(nodes: usize, locality: f64) -> (f64, Tick, Tick) {
     let mut d = HierarchicalDirectory::new(nodes, HierarchyCost::default());

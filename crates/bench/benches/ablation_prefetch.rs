@@ -14,11 +14,21 @@ fn bench(c: &mut Criterion) {
         let mut w = genbench::generate(id, 7);
         w.messages.truncate(300);
         let mut m = RpcNicModel::asic();
-        let no = m.serialize(&w, SerializeMode::CxlCacheNoPrefetch).total.as_us_f64();
-        let yes = m.serialize(&w, SerializeMode::CxlCachePrefetch).total.as_us_f64();
+        let no = m
+            .serialize(&w, SerializeMode::CxlCacheNoPrefetch)
+            .total
+            .as_us_f64();
+        let yes = m
+            .serialize(&w, SerializeMode::CxlCachePrefetch)
+            .total
+            .as_us_f64();
         let gain = no / yes - 1.0;
         gains.push(gain);
-        println!("  {:6} | {no:17.0} | {yes:16.0} | {:+5.1}%", id.label(), gain * 100.0);
+        println!(
+            "  {:6} | {no:17.0} | {yes:16.0} | {:+5.1}%",
+            id.label(),
+            gain * 100.0
+        );
     }
     println!(
         "  mean gain: {:.1}% (paper: 12% average, 3.6% minimum)",

@@ -7,7 +7,9 @@ fn bench(c: &mut Criterion) {
     simcxl_bench::headline(50);
     let mut g = c.benchmark_group("calibration");
     g.sample_size(10);
-    g.bench_function("mape", |b| b.iter(|| cohet::experiments::calibration_mape(2)));
+    g.bench_function("mape", |b| {
+        b.iter(|| cohet::experiments::calibration_mape(2))
+    });
     g.finish();
 }
 

@@ -1,9 +1,9 @@
 //! Extension bench (paper §VIII): KV-store GET/PUT and graph-BFS
 //! offload on the CXL vs PCIe paths.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cohet::extensions::{graph_offload, kvstore_offload};
 use cohet::DeviceProfile;
+use criterion::{criterion_group, criterion_main, Criterion};
 use simcxl_workloads::kvstore::KvConfig;
 
 fn bench(c: &mut Criterion) {

@@ -13,20 +13,44 @@ use simcxl_nic::SerializeMode;
 pub fn table1() {
     println!("== Table I: configurations (testbed -> this reproduction) ==");
     let rows = [
-        ("Linux kernel", "v6.5.0 testbed / modified v6.12", "cohet-os library OS"),
-        ("CPU type", "Xeon 8468V / X86O3CPU", "clocked request generators"),
+        (
+            "Linux kernel",
+            "v6.5.0 testbed / modified v6.12",
+            "cohet-os library OS",
+        ),
+        (
+            "CPU type",
+            "Xeon 8468V / X86O3CPU",
+            "clocked request generators",
+        ),
         ("CPU cores", "48 / 48", "n/a (memory-system study)"),
         ("Local DRAM", "DDR5-4800 / DDR5-4400", "DDR5-4400 model"),
-        ("LLC size", "97.5 MB / 96 MB", "unbounded directory (96 MB-equivalent)"),
-        ("Accelerator", "Agilex CXL-FPGA / CXL+PCIe NIC models", "calibrated profiles"),
+        (
+            "LLC size",
+            "97.5 MB / 96 MB",
+            "unbounded directory (96 MB-equivalent)",
+        ),
+        (
+            "Accelerator",
+            "Agilex CXL-FPGA / CXL+PCIe NIC models",
+            "calibrated profiles",
+        ),
         ("HMC", "128 KB 4-way / 128 KB 4-way", "128 KB 4-way"),
-        ("CXL expander", "Samsung 512 GB / expander model", "Type-3 model"),
+        (
+            "CXL expander",
+            "Samsung 512 GB / expander model",
+            "Type-3 model",
+        ),
     ];
     for (k, paper, ours) in rows {
         println!("  {k:14} | paper: {paper:42} | here: {ours}");
     }
     let fpga = DeviceProfile::fpga_400mhz();
-    println!("  calibrated profiles: {} and {}", fpga.name, DeviceProfile::asic_1500mhz().name);
+    println!(
+        "  calibrated profiles: {} and {}",
+        fpga.name,
+        DeviceProfile::asic_1500mhz().name
+    );
 }
 
 /// Prints Fig. 12 (NUMA latency distributions).

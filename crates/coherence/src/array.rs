@@ -1,7 +1,7 @@
 //! Set-associative tag arrays with LRU replacement.
 
-use simcxl_mem::{PhysAddr, CACHELINE_BYTES};
 use sim_core::Tick;
+use simcxl_mem::{PhysAddr, CACHELINE_BYTES};
 
 /// Stable MESI states of a line in a peer cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -145,7 +145,10 @@ impl CacheArray {
     /// LRU way if the set is full; the victim is returned.
     pub fn insert(&mut self, addr: PhysAddr, state: LineState) -> Option<Line> {
         let line_addr = addr.line();
-        debug_assert!(self.peek(addr).is_none(), "line {line_addr} already resident");
+        debug_assert!(
+            self.peek(addr).is_none(),
+            "line {line_addr} already resident"
+        );
         self.tick += 1;
         let tick = self.tick;
         let range = self.slot_range(self.set_of(addr));

@@ -115,7 +115,10 @@ impl CacheAgent {
     pub(crate) fn preload(&mut self, addr: simcxl_mem::PhysAddr, state: LineState) {
         if self.array.peek(addr).is_none() {
             let victim = self.array.insert(addr, state);
-            assert!(victim.is_none(), "preload evicted a line; enlarge the cache");
+            assert!(
+                victim.is_none(),
+                "preload evicted a line; enlarge the cache"
+            );
         } else {
             let line = self.array.get_mut(addr).expect("just checked");
             line.state = state;
@@ -250,7 +253,13 @@ impl CacheAgent {
     }
 
     /// Handles a message from the home agent.
-    pub(crate) fn handle_msg(&mut self, msg: Msg, level: Option<HitLevel>, now: Tick, out: &mut Outbox) {
+    pub(crate) fn handle_msg(
+        &mut self,
+        msg: Msg,
+        level: Option<HitLevel>,
+        now: Tick,
+        out: &mut Outbox,
+    ) {
         match msg.kind {
             MsgKind::SnpInv => self.snoop_inv(msg, now, out),
             MsgKind::SnpData => self.snoop_data(msg, now, out),
@@ -399,7 +408,10 @@ impl CacheAgent {
         let _ = mshr.for_own;
         let mut t = now;
         while let Some((req, op)) = mshr.waiting.pop_front() {
-            let line = self.array.get_mut(addr).expect("line resident during drain");
+            let line = self
+                .array
+                .get_mut(addr)
+                .expect("line resident during drain");
             match op {
                 MemOp::Load | MemOp::Prefetch => {
                     out.completions.push((t, req, level));

@@ -7,8 +7,8 @@ use crate::config::{CacheConfig, EngineConfig, HomeConfig};
 use crate::funcmem::FuncMem;
 use crate::home::{DirEntry, HomeAgent, HomeOutbox, HomeStats};
 use crate::msg::{AgentId, HitLevel, MemOp, Msg, MsgKind, ReqId};
-use simcxl_mem::{AddrRange, DramConfig, DramKind, MemoryInterface, PhysAddr};
 use sim_core::{EventQueue, Link, SimRng, Tick};
+use simcxl_mem::{AddrRange, DramConfig, DramKind, MemoryInterface, PhysAddr};
 use std::collections::HashMap;
 
 pub use crate::msg::Completion;
@@ -25,10 +25,7 @@ enum Ev {
         level: Option<HitLevel>,
     },
     /// A request completes at its cache agent.
-    Complete {
-        req: ReqId,
-        level: HitLevel,
-    },
+    Complete { req: ReqId, level: HitLevel },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -392,11 +389,7 @@ impl ProtocolEngine {
     pub fn preload(&mut self, agent: AgentId, addr: PhysAddr, state: LineState) {
         let idx = agent.index() - 2;
         self.caches[idx].preload(addr, state);
-        let mut entry = self
-            .home
-            .dir_entry(addr)
-            .cloned()
-            .unwrap_or_default();
+        let mut entry = self.home.dir_entry(addr).cloned().unwrap_or_default();
         match state {
             LineState::Modified | LineState::Exclusive => {
                 entry.owner = Some(agent);
@@ -455,7 +448,11 @@ impl ProtocolEngine {
         for c in &self.caches {
             for line in c.resident_lines() {
                 let entry = self.home.dir_entry(line.addr).unwrap_or_else(|| {
-                    panic!("cache {} holds {} but no directory entry", c.id(), line.addr)
+                    panic!(
+                        "cache {} holds {} but no directory entry",
+                        c.id(),
+                        line.addr
+                    )
                 });
                 match line.state {
                     LineState::Modified | LineState::Exclusive => {
@@ -547,15 +544,27 @@ mod tests {
     #[test]
     fn store_then_load_round_trip() {
         let (mut eng, cpu, hmc) = engine();
-        one(&mut eng, cpu, MemOp::Store { value: 77 }, 0x2000, Tick::ZERO);
+        one(
+            &mut eng,
+            cpu,
+            MemOp::Store { value: 77 },
+            0x2000,
+            Tick::ZERO,
+        );
         let t = eng.now() + Tick::from_ns(1);
         let c = one(&mut eng, hmc, MemOp::Load, 0x2000, t);
         assert_eq!(c.value, 77);
         assert_eq!(c.level, HitLevel::Peer);
         eng.verify_invariants();
         // CPU downgraded to S, HMC has S.
-        assert_eq!(eng.line_state(cpu, PhysAddr::new(0x2000)), Some(LineState::Shared));
-        assert_eq!(eng.line_state(hmc, PhysAddr::new(0x2000)), Some(LineState::Shared));
+        assert_eq!(
+            eng.line_state(cpu, PhysAddr::new(0x2000)),
+            Some(LineState::Shared)
+        );
+        assert_eq!(
+            eng.line_state(hmc, PhysAddr::new(0x2000)),
+            Some(LineState::Shared)
+        );
     }
 
     #[test]
@@ -652,7 +661,13 @@ mod tests {
     fn ncp_pushes_line_to_llc_and_invalidates_locally() {
         let (mut eng, cpu, hmc) = engine();
         let addr = PhysAddr::new(0x7000);
-        let c = one(&mut eng, hmc, MemOp::NcPush { value: 9 }, 0x7000, Tick::ZERO);
+        let c = one(
+            &mut eng,
+            hmc,
+            MemOp::NcPush { value: 9 },
+            0x7000,
+            Tick::ZERO,
+        );
         assert_eq!(c.level, HitLevel::Llc);
         assert_eq!(eng.line_state(hmc, addr), None);
         assert!(eng.dir_entry(addr).is_some());

@@ -11,8 +11,8 @@
 //! agents absorb as the supernode scales.
 
 use crate::msg::AgentId;
-use simcxl_mem::PhysAddr;
 use sim_core::Tick;
+use simcxl_mem::PhysAddr;
 use std::collections::{HashMap, HashSet};
 
 /// Identifies a child node inside a supernode.
@@ -132,11 +132,7 @@ impl HierarchicalDirectory {
         }
         self.stats.global_consults += 1;
         // Invalidate all other replicas and owners.
-        let others = entry
-            .replicas
-            .iter()
-            .filter(|&&n| n != node)
-            .count()
+        let others = entry.replicas.iter().filter(|&&n| n != node).count()
             + usize::from(entry.owner.is_some() && entry.owner != Some(node));
         self.stats.invalidations += others as u64;
         for n in entry.replicas.drain() {

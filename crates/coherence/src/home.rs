@@ -157,7 +157,13 @@ impl HomeAgent {
         ));
     }
 
-    fn send_to_mem(&mut self, now: Tick, kind: MsgKind, addr: simcxl_mem::PhysAddr, out: &mut HomeOutbox) {
+    fn send_to_mem(
+        &mut self,
+        now: Tick,
+        kind: MsgKind,
+        addr: simcxl_mem::PhysAddr,
+        out: &mut HomeOutbox,
+    ) {
         let arrival = self.mem_link.send(now, kind.bytes());
         out.msgs.push((
             arrival,
@@ -231,10 +237,7 @@ impl HomeAgent {
                 match self.dir.get(&key) {
                     None => {
                         self.stats.mem_fetches += 1;
-                        self.busy.insert(
-                            key,
-                            HomeTx::Fetch { requester: from },
-                        );
+                        self.busy.insert(key, HomeTx::Fetch { requester: from });
                         self.send_to_mem(t, MsgKind::MemRd, addr, out);
                     }
                     Some(e) if e.owner.is_some() && e.owner != Some(from) => {
@@ -289,20 +292,13 @@ impl HomeAgent {
                 match self.dir.get(&key) {
                     None => {
                         self.stats.mem_fetches += 1;
-                        self.busy.insert(
-                            key,
-                            HomeTx::Fetch { requester: from },
-                        );
+                        self.busy.insert(key, HomeTx::Fetch { requester: from });
                         self.send_to_mem(t, MsgKind::MemRd, addr, out);
                     }
                     Some(e) => {
                         let owner = e.owner;
-                        let others: Vec<AgentId> = e
-                            .sharers
-                            .iter()
-                            .copied()
-                            .filter(|&a| a != from)
-                            .collect();
+                        let others: Vec<AgentId> =
+                            e.sharers.iter().copied().filter(|&a| a != from).collect();
                         let upgrade = e.sharers.contains(&from) || owner == Some(from);
                         if let Some(o) = owner.filter(|&o| o != from) {
                             self.stats.snoops_sent += 1;
@@ -367,14 +363,9 @@ impl HomeAgent {
                     }
                     Some(e) => {
                         let owner = e.owner.filter(|&o| o != from);
-                        let others: Vec<AgentId> = e
-                            .sharers
-                            .iter()
-                            .copied()
-                            .filter(|&a| a != from)
-                            .collect();
-                        let targets: Vec<AgentId> =
-                            owner.into_iter().chain(others).collect();
+                        let others: Vec<AgentId> =
+                            e.sharers.iter().copied().filter(|&a| a != from).collect();
+                        let targets: Vec<AgentId> = owner.into_iter().chain(others).collect();
                         if targets.is_empty() {
                             self.stats.ncp_pushes += 1;
                             let e = self.dir.get_mut(&key).expect("checked");
@@ -561,14 +552,27 @@ impl HomeAgent {
                         dirty: false,
                     },
                 );
-                self.send_to_cache(t, requester, MsgKind::DataGoE, msg.addr, Some(HitLevel::Mem), out);
+                self.send_to_cache(
+                    t,
+                    requester,
+                    MsgKind::DataGoE,
+                    msg.addr,
+                    Some(HitLevel::Mem),
+                    out,
+                );
                 self.replay_pending(key, msg.addr, t, out);
             }
             other => panic!("MemData during {:?}", other),
         }
     }
 
-    fn replay_pending(&mut self, key: u64, addr: simcxl_mem::PhysAddr, t: Tick, out: &mut HomeOutbox) {
+    fn replay_pending(
+        &mut self,
+        key: u64,
+        addr: simcxl_mem::PhysAddr,
+        t: Tick,
+        out: &mut HomeOutbox,
+    ) {
         if let Some(q) = self.pending.get_mut(&key) {
             if let Some((from, kind)) = q.pop_front() {
                 if q.is_empty() {

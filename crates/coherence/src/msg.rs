@@ -1,8 +1,8 @@
 //! Protocol message vocabulary (CXL.cache-flavoured MESI).
 
 use crate::funcmem::AtomicKind;
-use simcxl_mem::PhysAddr;
 use sim_core::Tick;
+use simcxl_mem::PhysAddr;
 use std::fmt;
 
 /// Identifies one agent attached to the engine.
@@ -232,7 +232,10 @@ mod tests {
     #[test]
     fn data_messages_are_bigger() {
         assert!(MsgKind::DataGoE.bytes() > MsgKind::RdOwn.bytes());
-        assert!(MsgKind::SnpRespInv { dirty: true }.bytes() > MsgKind::SnpRespInv { dirty: false }.bytes());
+        assert!(
+            MsgKind::SnpRespInv { dirty: true }.bytes()
+                > MsgKind::SnpRespInv { dirty: false }.bytes()
+        );
     }
 
     #[test]

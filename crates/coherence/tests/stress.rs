@@ -3,10 +3,10 @@
 //! directory-consistent.
 
 use proptest::prelude::*;
+use sim_core::Tick;
 use simcxl_coherence::prelude::*;
 use simcxl_coherence::AtomicKind;
 use simcxl_mem::PhysAddr;
-use sim_core::Tick;
 
 fn tiny_cache() -> CacheConfig {
     CacheConfig {
@@ -86,7 +86,12 @@ fn ncp_storm_against_owner() {
     for i in 0..150u64 {
         let addr = PhysAddr::new(0xb000 + (i % 8) * 64);
         eng.issue(cpu, MemOp::Store { value: i }, addr, t);
-        eng.issue(dev, MemOp::NcPush { value: i + 1000 }, addr, t + Tick::from_ns(5));
+        eng.issue(
+            dev,
+            MemOp::NcPush { value: i + 1000 },
+            addr,
+            t + Tick::from_ns(5),
+        );
         t += Tick::from_ns(200);
     }
     let done = eng.run_to_quiescence();

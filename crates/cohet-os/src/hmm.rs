@@ -115,7 +115,11 @@ impl fmt::Debug for Hmm {
         f.debug_struct("Hmm")
             .field(
                 "devices",
-                &self.devices.iter().map(|d| d.name().to_owned()).collect::<Vec<_>>(),
+                &self
+                    .devices
+                    .iter()
+                    .map(|d| d.name().to_owned())
+                    .collect::<Vec<_>>(),
             )
             .field("updates", &self.updates)
             .field("invalidations", &self.invalidations)
@@ -150,10 +154,16 @@ mod tests {
                 .push(format!("{}:inv:{va}", self.name));
         }
         fn block(&mut self) {
-            self.log.borrow_mut().events.push(format!("{}:block", self.name));
+            self.log
+                .borrow_mut()
+                .events
+                .push(format!("{}:block", self.name));
         }
         fn resume(&mut self) {
-            self.log.borrow_mut().events.push(format!("{}:resume", self.name));
+            self.log
+                .borrow_mut()
+                .events
+                .push(format!("{}:resume", self.name));
         }
     }
 
@@ -174,7 +184,10 @@ mod tests {
         });
         assert!(*updated.borrow());
         let ev = log.borrow().events.clone();
-        assert_eq!(ev, vec!["nic:block", "update", "nic:inv:0x1000", "nic:resume"]);
+        assert_eq!(
+            ev,
+            vec!["nic:block", "update", "nic:inv:0x1000", "nic:resume"]
+        );
     }
 
     #[test]

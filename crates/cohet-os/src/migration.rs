@@ -45,7 +45,10 @@ pub fn migrate_page(
 ) -> Result<Tick, OsError> {
     let va = va.page(PAGE_SIZE);
     let (table, topo, hmm) = p.parts_mut();
-    let pte = *table.walk(va).map(|(p, _)| p).ok_or(OsError::Segfault(va))?;
+    let pte = *table
+        .walk(va)
+        .map(|(p, _)| p)
+        .ok_or(OsError::Segfault(va))?;
     if pte.node == dst {
         return Ok(Tick::ZERO);
     }
@@ -153,7 +156,8 @@ mod tests {
     fn migrate_to_same_node_is_free() {
         let mut p = process();
         let ptr = p.malloc(4096).unwrap();
-        p.access(Accessor::Cpu(NodeId(0)), ptr, AccessKind::Write).unwrap();
+        p.access(Accessor::Cpu(NodeId(0)), ptr, AccessKind::Write)
+            .unwrap();
         let cost = migrate_page(&mut p, ptr, NodeId(0), MigrationCost::default()).unwrap();
         assert_eq!(cost, Tick::ZERO);
     }
@@ -170,7 +174,8 @@ mod tests {
     fn migration_triggers_atc_invalidation() {
         let mut p = process();
         let ptr = p.malloc(4096).unwrap();
-        p.access(Accessor::Xpu(NodeId(1)), ptr, AccessKind::Write).unwrap();
+        p.access(Accessor::Xpu(NodeId(1)), ptr, AccessKind::Write)
+            .unwrap();
         struct Probe;
         impl crate::hmm::MmNotifier for Probe {
             fn name(&self) -> &str {

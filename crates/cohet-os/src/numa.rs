@@ -126,7 +126,8 @@ impl NumaTopology {
             assert!(!n.range.overlaps(range), "node ranges overlap");
         }
         let id = NodeId(self.nodes.len());
-        self.nodes.push(NumaNode::new(id, kind, range, self.page_size));
+        self.nodes
+            .push(NumaNode::new(id, kind, range, self.page_size));
         id
     }
 

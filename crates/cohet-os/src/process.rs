@@ -293,7 +293,9 @@ mod tests {
         let ptr = p.malloc(1 << 16).unwrap();
         assert_eq!(p.page_table().mapped_pages(), 0, "no frames before touch");
         assert_eq!(p.reserved_bytes(), 1 << 16);
-        let r = p.access(Accessor::Cpu(NodeId(0)), ptr, AccessKind::Write).unwrap();
+        let r = p
+            .access(Accessor::Cpu(NodeId(0)), ptr, AccessKind::Write)
+            .unwrap();
         assert!(r.faulted);
         assert_eq!(p.page_table().mapped_pages(), 1, "only the touched page");
     }
@@ -302,7 +304,9 @@ mod tests {
     fn first_touch_places_on_accessor_node() {
         let mut p = process();
         let ptr = p.malloc(8192).unwrap();
-        let cpu = p.access(Accessor::Cpu(NodeId(0)), ptr, AccessKind::Write).unwrap();
+        let cpu = p
+            .access(Accessor::Cpu(NodeId(0)), ptr, AccessKind::Write)
+            .unwrap();
         let xpu = p
             .access(Accessor::Xpu(NodeId(1)), ptr + 4096, AccessKind::Write)
             .unwrap();
@@ -318,8 +322,12 @@ mod tests {
         assert_eq!(p.reserved_bytes(), 1 << 30);
         // Touch only a little of it: fine.
         for i in 0..16 {
-            p.access(Accessor::Cpu(NodeId(0)), ptr + i * PAGE_SIZE, AccessKind::Write)
-                .unwrap();
+            p.access(
+                Accessor::Cpu(NodeId(0)),
+                ptr + i * PAGE_SIZE,
+                AccessKind::Write,
+            )
+            .unwrap();
         }
         assert_eq!(p.stats().minor_faults, 16);
     }
@@ -330,7 +338,8 @@ mod tests {
         topo.add_node(NodeKind::Cpu, AddrRange::new(PhysAddr::new(0), 8192));
         let mut p = Process::new(topo);
         let ptr = p.malloc(1 << 20).unwrap();
-        p.access(Accessor::Cpu(NodeId(0)), ptr, AccessKind::Write).unwrap();
+        p.access(Accessor::Cpu(NodeId(0)), ptr, AccessKind::Write)
+            .unwrap();
         p.access(Accessor::Cpu(NodeId(0)), ptr + 4096, AccessKind::Write)
             .unwrap();
         let e = p
@@ -343,14 +352,22 @@ mod tests {
     fn segfault_and_protection() {
         let mut p = process();
         let e = p
-            .access(Accessor::Cpu(NodeId(0)), VirtAddr::new(0x10), AccessKind::Read)
+            .access(
+                Accessor::Cpu(NodeId(0)),
+                VirtAddr::new(0x10),
+                AccessKind::Read,
+            )
             .unwrap_err();
         assert!(matches!(e, OsError::Segfault(_)));
         let ro = p.mmap(4096, Prot::Read).unwrap();
-        let e = p.access(Accessor::Cpu(NodeId(0)), ro, AccessKind::Write).unwrap_err();
+        let e = p
+            .access(Accessor::Cpu(NodeId(0)), ro, AccessKind::Write)
+            .unwrap_err();
         assert!(matches!(e, OsError::ProtectionViolation(_)));
         // Reads are fine.
-        assert!(p.access(Accessor::Cpu(NodeId(0)), ro, AccessKind::Read).is_ok());
+        assert!(p
+            .access(Accessor::Cpu(NodeId(0)), ro, AccessKind::Read)
+            .is_ok());
     }
 
     #[test]
@@ -358,8 +375,12 @@ mod tests {
         let mut p = process();
         let ptr = p.malloc(8 * PAGE_SIZE).unwrap();
         for i in 0..8 {
-            p.access(Accessor::Cpu(NodeId(0)), ptr + i * PAGE_SIZE, AccessKind::Write)
-                .unwrap();
+            p.access(
+                Accessor::Cpu(NodeId(0)),
+                ptr + i * PAGE_SIZE,
+                AccessKind::Write,
+            )
+            .unwrap();
         }
         let used = p.topology().node(NodeId(0)).frames_in_use();
         assert_eq!(used, 8);
@@ -373,7 +394,9 @@ mod tests {
         let mut p = process();
         let ptr = p.malloc(4096).unwrap();
         assert_eq!(p.translate(ptr), None);
-        let r = p.access(Accessor::Xpu(NodeId(1)), ptr + 40, AccessKind::Write).unwrap();
+        let r = p
+            .access(Accessor::Xpu(NodeId(1)), ptr + 40, AccessKind::Write)
+            .unwrap();
         assert_eq!(p.translate(ptr + 40), Some(r.pa));
     }
 }

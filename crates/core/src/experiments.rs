@@ -5,6 +5,7 @@
 
 use crate::profile::{reference, DeviceProfile};
 use protowire::{genbench, BenchId};
+use sim_core::{mape, Summary, Tick};
 use simcxl_coherence::array::LineState;
 use simcxl_coherence::prelude::*;
 use simcxl_mem::{AddrRange, DramConfig, DramKind, MemoryInterface, PhysAddr, CACHELINE_BYTES};
@@ -12,7 +13,6 @@ use simcxl_nic::{CxlRaoNic, PcieRaoNic, RpcNicModel, SerializeMode};
 use simcxl_pcie::DmaEngine;
 use simcxl_workloads::circustent::{self, CtConfig, CtPattern};
 use simcxl_workloads::lsu;
-use sim_core::{mape, Summary, Tick};
 
 fn engine_for(profile: &DeviceProfile, jitter: Option<(u64, f64)>) -> (ProtocolEngine, AgentId) {
     let mut b = ProtocolEngine::builder().home(profile.home.clone());
@@ -226,8 +226,7 @@ pub fn fig12(profile: &DeviceProfile, trials: usize) -> Vec<Summary> {
     for n in 0..8u64 {
         let mut sum = Summary::new();
         for t in 0..trials {
-            let base =
-                PhysAddr::new(n * node_span + (t as u64) * 32 * CACHELINE_BYTES + 0x10_000);
+            let base = PhysAddr::new(n * node_span + (t as u64) * 32 * CACHELINE_BYTES + 0x10_000);
             let mut at = eng.now() + Tick::from_ns(50);
             for req in lsu::latency_burst(base) {
                 let id = eng.issue(hmc, MemOp::Load, req.addr, at);
@@ -285,7 +284,10 @@ impl Fig18Row {
 
     /// Serialization speedup of `mode` over RpcNIC.
     pub fn ser_speedup(&self, mode: SerializeMode) -> f64 {
-        let idx = SerializeMode::all().iter().position(|&m| m == mode).expect("known mode");
+        let idx = SerializeMode::all()
+            .iter()
+            .position(|&m| m == mode)
+            .expect("known mode");
         self.ser_us[0] / self.ser_us[idx]
     }
 }

@@ -3,12 +3,12 @@
 //! CXL vs PCIe access paths.
 
 use crate::profile::DeviceProfile;
+use sim_core::Tick;
 use simcxl_coherence::prelude::*;
 use simcxl_mem::PhysAddr;
 use simcxl_pcie::DmaEngine;
 use simcxl_workloads::graph::CsrGraph;
 use simcxl_workloads::kvstore::{self, KvConfig, KvOp, RefStore};
-use sim_core::Tick;
 
 /// Result of one offload-path comparison.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,9 +77,7 @@ pub fn kvstore_offload(profile: &DeviceProfile, cfg: KvConfig) -> OffloadCompari
             // Hash collisions alias buckets in this compact model; only
             // collision-free keys are compared.
             let alias = (0..cfg.keys)
-                .filter(|&k| {
-                    k != key && kvstore::slot_addr(table, k, buckets) == addr
-                })
+                .filter(|&k| k != key && kvstore::slot_addr(table, k, buckets) == addr)
                 .count();
             if alias == 0 {
                 assert_eq!(c.value, expect, "GET {key} returned stale data");

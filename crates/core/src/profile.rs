@@ -7,9 +7,9 @@
 //! calibration harness compares against simulation to compute the MAPE
 //! the paper reports (3%).
 
+use sim_core::{LinkConfig, Tick};
 use simcxl_coherence::{CacheConfig, HomeConfig};
 use simcxl_pcie::DmaConfig;
-use sim_core::{LinkConfig, Tick};
 
 /// A calibrated device/interconnect design point.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,14 +1,12 @@
 //! The Cohet framework: coherent CPU/XPU pools over one page table.
 
 use crate::profile::DeviceProfile;
-use cohet_os::{
-    AccessKind, Accessor, NodeId, NodeKind, NumaTopology, OsError, Process, VirtAddr,
-};
+use cohet_os::{AccessKind, Accessor, NodeId, NodeKind, NumaTopology, OsError, Process, VirtAddr};
+use sim_core::Tick;
 use simcxl_coherence::prelude::*;
 use simcxl_coherence::AtomicKind;
 use simcxl_cxl::{Atc, AtcConfig, IommuConfig};
 use simcxl_mem::{AddrRange, DramConfig, DramKind, MemoryInterface, PhysAddr};
-use sim_core::Tick;
 use std::fmt;
 
 /// Errors surfaced by the framework.
@@ -126,7 +124,10 @@ impl CohetSystem {
     pub fn spawn_process(&self) -> CohetProcess {
         // Physical map: host memory at 0, each XPU's memory after it.
         let mut topo = NumaTopology::new(cohet_os::PAGE_SIZE);
-        let cpu_node = topo.add_node(NodeKind::Cpu, AddrRange::new(PhysAddr::new(0), self.host_mem));
+        let cpu_node = topo.add_node(
+            NodeKind::Cpu,
+            AddrRange::new(PhysAddr::new(0), self.host_mem),
+        );
         let mut mi = MemoryInterface::new();
         mi.add_memory(
             AddrRange::new(PhysAddr::new(0), self.host_mem),
@@ -353,7 +354,9 @@ impl CohetProcess {
     /// [`CohetError::Os`] if no expander exists (surfaced as OOM), the
     /// page is unmapped, or the expander is full.
     pub fn demote_to_expander(&mut self, va: VirtAddr) -> Result<Tick, CohetError> {
-        let node = self.expander_node.ok_or(CohetError::Os(OsError::OutOfMemory))?;
+        let node = self
+            .expander_node
+            .ok_or(CohetError::Os(OsError::OutOfMemory))?;
         Ok(cohet_os::migration::migrate_page(
             &mut self.os,
             va,
@@ -450,7 +453,8 @@ mod tests {
     fn xpu_first_touch_lands_on_xpu_node() {
         let mut p = proc();
         let ptr = p.malloc(4096).unwrap();
-        p.launch_kernel(0, 1, move |ctx, _| ctx.store(ptr, 5)).unwrap();
+        p.launch_kernel(0, 1, move |ctx, _| ctx.store(ptr, 5))
+            .unwrap();
         // The frame must live on the XPU node (node 1).
         let pa = p.os.translate(ptr).unwrap();
         assert!(pa.raw() >= 1 << 30, "frame {pa} not in XPU memory");
@@ -478,7 +482,8 @@ mod tests {
     fn atc_caches_translations() {
         let mut p = proc();
         let ptr = p.malloc(4096).unwrap();
-        p.launch_kernel(0, 16, move |ctx, i| ctx.store(ptr + i * 8, i)).unwrap();
+        p.launch_kernel(0, 16, move |ctx, i| ctx.store(ptr + i * 8, i))
+            .unwrap();
         let (hits, misses) = p.atc_stats(0);
         assert_eq!(misses, 1, "one walk for the page");
         assert_eq!(hits, 15);

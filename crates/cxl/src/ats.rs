@@ -133,7 +133,8 @@ impl Atc {
         }
         self.entries.insert(vpn, ppn);
         self.order.push(vpn);
-        let done = now + self.cfg.hit_latency + self.iommu.link_round_trip + self.iommu.walk_latency;
+        let done =
+            now + self.cfg.hit_latency + self.iommu.link_round_trip + self.iommu.walk_latency;
         (TranslationOutcome::Miss { ppn }, done)
     }
 

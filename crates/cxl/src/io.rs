@@ -54,7 +54,8 @@ impl CxlIo {
         assert!(!self.enumerated, "attach after enumeration");
         device.validate();
         let id = self.bus.attach(device.config_space());
-        self.mmio.push(MmioPort::new(MmioConfig::from_link(&dma.link)));
+        self.mmio
+            .push(MmioPort::new(MmioConfig::from_link(&dma.link)));
         self.dma.push(DmaEngine::new(dma));
         self.devices.push(device);
         id

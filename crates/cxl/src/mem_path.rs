@@ -8,8 +8,8 @@
 //! the store path (stores are posted and pipeline well; the overhead is
 //! the residual occupancy, not the full round trip).
 
-use simcxl_mem::{DramConfig, DramModel, PhysAddr};
 use sim_core::{Link, LinkConfig, Tick};
+use simcxl_mem::{DramConfig, DramModel, PhysAddr};
 
 /// Configuration of a [`CxlMemPath`].
 #[derive(Debug, Clone, PartialEq)]
@@ -142,7 +142,10 @@ mod tests {
         let s = p.store(Tick::ZERO, PhysAddr::new(0x100), 64);
         let mut q = CxlMemPath::new(CxlMemConfig::expander_default());
         let l = q.load(Tick::ZERO, PhysAddr::new(0x100), 64);
-        assert!(s < l / 4, "posted store {s} should be far cheaper than load {l}");
+        assert!(
+            s < l / 4,
+            "posted store {s} should be far cheaper than load {l}"
+        );
     }
 
     #[test]

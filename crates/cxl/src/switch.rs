@@ -120,7 +120,11 @@ impl FabricManager {
     /// Returns [`FabricError::NoneAvailable`] if nothing matches. For
     /// memory, any unbound region with at least the requested capacity
     /// matches.
-    pub fn allocate(&mut self, host: HostPort, want: PoolResource) -> Result<ResourceId, FabricError> {
+    pub fn allocate(
+        &mut self,
+        host: HostPort,
+        want: PoolResource,
+    ) -> Result<ResourceId, FabricError> {
         let mut best: Option<(ResourceId, u64)> = None;
         for (&id, &(res, bound)) in &self.resources {
             if bound.is_some() {
@@ -134,9 +138,10 @@ impl FabricManager {
                 (PoolResource::Memory { bytes: need }, PoolResource::Memory { bytes: have })
                     if have >= need
                     // Best fit: smallest adequate region.
-                    && best.is_none_or(|(_, b)| have < b) => {
-                        best = Some((id, have));
-                    }
+                    && best.is_none_or(|(_, b)| have < b) =>
+                {
+                    best = Some((id, have));
+                }
                 _ => {}
             }
         }

@@ -257,7 +257,9 @@ mod tests {
         let mut m = model();
         let done = m.read(Tick::ZERO, PhysAddr::new(0), 64);
         let cfg = m.config().clone();
-        let expected = cfg.t_rcd + cfg.t_cas + LinkConfig::with_gbps(Tick::ZERO, cfg.channel_gbps).serialize_time(64);
+        let expected = cfg.t_rcd
+            + cfg.t_cas
+            + LinkConfig::with_gbps(Tick::ZERO, cfg.channel_gbps).serialize_time(64);
         assert_eq!(done, expected);
     }
 
@@ -285,7 +287,10 @@ mod tests {
         let d0 = m.read(Tick::ZERO, PhysAddr::new(0), 64);
         let d1 = m.read(Tick::ZERO, PhysAddr::new(64), 64);
         let serial_estimate = d0 * 2;
-        assert!(d1 < serial_estimate, "no overlap: {d1} vs {serial_estimate}");
+        assert!(
+            d1 < serial_estimate,
+            "no overlap: {d1} vs {serial_estimate}"
+        );
     }
 
     #[test]
@@ -317,7 +322,9 @@ mod tests {
         let cfg = m.config().clone();
         assert_eq!(
             done,
-            cfg.t_rcd + cfg.t_cas + LinkConfig::with_gbps(Tick::ZERO, cfg.channel_gbps).serialize_time(64)
+            cfg.t_rcd
+                + cfg.t_cas
+                + LinkConfig::with_gbps(Tick::ZERO, cfg.channel_gbps).serialize_time(64)
         );
     }
 

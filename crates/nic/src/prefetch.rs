@@ -188,7 +188,11 @@ mod tests {
         for i in 0..64u64 {
             p.access(PhysAddr::new(i * 256));
         }
-        assert!(p.coverage() > 0.7, "stride-4-line coverage {}", p.coverage());
+        assert!(
+            p.coverage() > 0.7,
+            "stride-4-line coverage {}",
+            p.coverage()
+        );
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Remote atomic operation (RAO) offload engines (paper §V-A, Fig. 8/9).
 
+use sim_core::Tick;
 use simcxl_coherence::prelude::*;
 use simcxl_pcie::{DmaConfig, DmaEngine};
 use simcxl_workloads::circustent::RaoOp;
-use sim_core::Tick;
 
 /// Outcome of running an RAO stream through a NIC.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -206,10 +206,7 @@ mod tests {
             let mut cxl = cxl_nic();
             let c = cxl.run(&ops);
             let speedup = c.mops() / p.mops();
-            assert!(
-                speedup > 3.0,
-                "{pattern:?} speedup only {speedup:.1}x"
-            );
+            assert!(speedup > 3.0, "{pattern:?} speedup only {speedup:.1}x");
         }
     }
 
@@ -243,7 +240,9 @@ mod tests {
         // much (lock serialization), and the sum must stay exact.
         assert!(r4.total < r1.total * 2);
         assert_eq!(
-            four.engine_mut().func_mem().read_u64(CtConfig::default().base),
+            four.engine_mut()
+                .func_mem()
+                .read_u64(CtConfig::default().base),
             256
         );
     }

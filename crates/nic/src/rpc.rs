@@ -22,10 +22,10 @@
 use crate::layout::StreamArena;
 use crate::prefetch::MultiStridePrefetcher;
 use protowire::{decode, encode, BenchWorkload, MessageValue};
+use sim_core::Tick;
 use simcxl_coherence::prelude::*;
 use simcxl_mem::{PhysAddr, CACHELINE_BYTES};
 use simcxl_pcie::{DmaConfig, DmaEngine};
-use sim_core::Tick;
 
 /// Serialization design point (Fig. 18b legend).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -196,8 +196,7 @@ impl RpcNicModel {
             let wire = bytes.len() as u64;
             wire_total += wire;
             // Field-by-field decode, staged through the temp buffer.
-            now += self.decode_cost(msg, wire)
-                + Tick::from_ps(self.timing.copy_per_byte_ps * wire);
+            now += self.decode_cost(msg, wire) + Tick::from_ps(self.timing.copy_per_byte_ps * wire);
             // One-shot DMA per filled buffer (at least one per message).
             let flushes = wire.div_ceil(self.timing.temp_buffer).max(1);
             for _ in 0..flushes {
@@ -222,7 +221,9 @@ impl RpcNicModel {
     /// datapath rate, pushing each completed 64 B line into the LLC via
     /// NC-P through the coherence engine.
     pub fn deserialize_cxl(&mut self, w: &BenchWorkload) -> RpcResult {
-        let mut eng = ProtocolEngine::builder().home(self.home_cfg.clone()).build();
+        let mut eng = ProtocolEngine::builder()
+            .home(self.home_cfg.clone())
+            .build();
         let hmc = eng.add_cache(self.hmc_cfg.clone());
         let mut now = Tick::ZERO;
         let mut wire_total = 0u64;
@@ -283,9 +284,8 @@ impl RpcNicModel {
             // NIC DMA read of the prepared buffer (step 6), partially
             // overlapped with encoding.
             let done = self.dma.transfer(now, wire.max(1));
-            now += Tick::from_ps(
-                ((done - now).as_ps() as f64 * self.timing.dma_read_exposure) as u64,
-            );
+            now +=
+                Tick::from_ps(((done - now).as_ps() as f64 * self.timing.dma_read_exposure) as u64);
             // HW serializer encode (step 7).
             now += self.decode_cost(msg, wire);
         }
@@ -316,7 +316,9 @@ impl RpcNicModel {
     }
 
     fn serialize_cxl_cache(&mut self, w: &BenchWorkload, prefetch: bool) -> RpcResult {
-        let mut eng = ProtocolEngine::builder().home(self.home_cfg.clone()).build();
+        let mut eng = ProtocolEngine::builder()
+            .home(self.home_cfg.clone())
+            .build();
         let hmc = eng.add_cache(self.hmc_cfg.clone());
         let mut pf = MultiStridePrefetcher::rpc_default();
         let mut now = Tick::ZERO;
@@ -326,7 +328,8 @@ impl RpcNicModel {
         let mut issue_clock = Tick::ZERO;
         // Completions drained from the engine, keyed by request
         // (prefetch completions are dropped on the floor).
-        let mut completed: std::collections::HashMap<ReqId, Tick> = std::collections::HashMap::new();
+        let mut completed: std::collections::HashMap<ReqId, Tick> =
+            std::collections::HashMap::new();
         let mut arena = StreamArena::new(PhysAddr::new(0x1_0000_0000), 1);
         for msg in &w.messages {
             let wire = protowire::encode::encoded_len(msg) as u64;
@@ -429,10 +432,10 @@ mod tests {
         let mut m = RpcNicModel::asic();
         let w1 = small(BenchId::Bench1);
         let w5 = small(BenchId::Bench5);
-        let s1 = m.deserialize_rpcnic(&w1).total.as_ns_f64()
-            / m.deserialize_cxl(&w1).total.as_ns_f64();
-        let s5 = m.deserialize_rpcnic(&w5).total.as_ns_f64()
-            / m.deserialize_cxl(&w5).total.as_ns_f64();
+        let s1 =
+            m.deserialize_rpcnic(&w1).total.as_ns_f64() / m.deserialize_cxl(&w1).total.as_ns_f64();
+        let s5 =
+            m.deserialize_rpcnic(&w5).total.as_ns_f64() / m.deserialize_cxl(&w5).total.as_ns_f64();
         assert!(s1 > s5, "Bench1 {s1:.2} should beat Bench5 {s5:.2}");
     }
 
@@ -471,8 +474,14 @@ mod tests {
         let flat = small(BenchId::Bench1);
         let nested = small(BenchId::Bench2);
         let gain = |m: &mut RpcNicModel, w: &BenchWorkload| {
-            let no = m.serialize(w, SerializeMode::CxlCacheNoPrefetch).total.as_ns_f64();
-            let yes = m.serialize(w, SerializeMode::CxlCachePrefetch).total.as_ns_f64();
+            let no = m
+                .serialize(w, SerializeMode::CxlCacheNoPrefetch)
+                .total
+                .as_ns_f64();
+            let yes = m
+                .serialize(w, SerializeMode::CxlCachePrefetch)
+                .total
+                .as_ns_f64();
             no / yes - 1.0
         };
         let g_flat = gain(&mut m, &flat);

@@ -193,7 +193,10 @@ mod tests {
         let mut dma = DmaEngine::new(DmaConfig::fpga_400mhz());
         let done = dma.transfer(Tick::ZERO, 64);
         let ns = done.as_ns_f64();
-        assert!((ns - 2170.0).abs() / 2170.0 < 0.05, "64 B DMA latency {ns} ns");
+        assert!(
+            (ns - 2170.0).abs() / 2170.0 < 0.05,
+            "64 B DMA latency {ns} ns"
+        );
     }
 
     #[test]
@@ -210,14 +213,20 @@ mod tests {
     fn small_message_bandwidth_near_calibration() {
         let mut dma = DmaEngine::new(DmaConfig::fpga_400mhz());
         let bw = dma.stream_bandwidth(64, 2048) / 1e9;
-        assert!((bw - 0.92).abs() / 0.92 < 0.05, "64 B DMA bandwidth {bw} GB/s");
+        assert!(
+            (bw - 0.92).abs() / 0.92 < 0.05,
+            "64 B DMA bandwidth {bw} GB/s"
+        );
     }
 
     #[test]
     fn bulk_bandwidth_near_calibration() {
         let mut dma = DmaEngine::new(DmaConfig::fpga_400mhz());
         let bw = dma.stream_bandwidth(256 * 1024, 64) / 1e9;
-        assert!((bw - 22.9).abs() / 22.9 < 0.08, "256 KB DMA bandwidth {bw} GB/s");
+        assert!(
+            (bw - 22.9).abs() / 22.9 < 0.08,
+            "256 KB DMA bandwidth {bw} GB/s"
+        );
     }
 
     #[test]
@@ -225,7 +234,10 @@ mod tests {
         let mut dma = DmaEngine::new(DmaConfig::fpga_400mhz());
         let a = dma.ordered_rmw(Tick::ZERO, 64);
         let b = dma.ordered_rmw(Tick::ZERO, 64);
-        assert!(b >= a * 2 - Tick::from_ns(1), "RMWs must not overlap: {a} {b}");
+        assert!(
+            b >= a * 2 - Tick::from_ns(1),
+            "RMWs must not overlap: {a} {b}"
+        );
         // Each RMW costs two transfers plus the ack wait: well over 4 µs.
         assert!(a > Tick::from_us(4), "per-RMW cost {a}");
     }
@@ -238,7 +250,10 @@ mod tests {
         let a = asic.transfer(Tick::ZERO, 64);
         assert!(a < f);
         let ns = a.as_ns_f64();
-        assert!((ns - 1170.0).abs() / 1170.0 < 0.06, "ASIC 64 B latency {ns}");
+        assert!(
+            (ns - 1170.0).abs() / 1170.0 < 0.06,
+            "ASIC 64 B latency {ns}"
+        );
     }
 
     #[test]

@@ -43,7 +43,11 @@ pub fn decode(schema: &Schema, buf: &[u8]) -> Result<MessageValue, DecodeError> 
     decode_message(schema, schema.root(), buf)
 }
 
-fn decode_message(schema: &Schema, r: MessageRef, mut buf: &[u8]) -> Result<MessageValue, DecodeError> {
+fn decode_message(
+    schema: &Schema,
+    r: MessageRef,
+    mut buf: &[u8],
+) -> Result<MessageValue, DecodeError> {
     let desc = schema.message(r);
     let mut msg = MessageValue::new();
     while !buf.is_empty() {
@@ -59,7 +63,9 @@ fn decode_message(schema: &Schema, r: MessageRef, mut buf: &[u8]) -> Result<Mess
             }
         };
         buf = &buf[n..];
-        let field = desc.field(number).ok_or(DecodeError::UnknownField(number))?;
+        let field = desc
+            .field(number)
+            .ok_or(DecodeError::UnknownField(number))?;
         let value = match (wt, field.ty) {
             (WireType::Varint, FieldType::SInt64) => {
                 let (v, n) = get_varint(buf).ok_or(DecodeError::Truncated)?;

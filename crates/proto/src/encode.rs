@@ -12,7 +12,10 @@ use crate::wire::{put_tag, put_varint, zigzag, WireType};
 /// validate with [`MessageValue::conforms`]; the generator always
 /// produces conforming messages).
 pub fn encode(schema: &Schema, msg: &MessageValue) -> Vec<u8> {
-    debug_assert!(msg.conforms(schema, schema.root()), "non-conforming message");
+    debug_assert!(
+        msg.conforms(schema, schema.root()),
+        "non-conforming message"
+    );
     let mut buf = Vec::new();
     encode_into(msg, &mut buf);
     buf

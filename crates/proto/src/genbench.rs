@@ -241,7 +241,9 @@ pub fn generate(id: BenchId, seed: u64) -> BenchWorkload {
     let p = profile(id);
     let schema = build_schema(p);
     let mut rng = SimRng::new(seed ^ (id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-    let messages = (0..p.count).map(|_| build_message(p, 0, &mut rng)).collect();
+    let messages = (0..p.count)
+        .map(|_| build_message(p, 0, &mut rng))
+        .collect();
     BenchWorkload {
         id,
         schema,
@@ -259,7 +261,10 @@ mod tests {
         for id in BenchId::all() {
             let w = generate(id, 7);
             for m in w.messages.iter().take(10) {
-                assert!(m.conforms(&w.schema, w.schema.root()), "{id:?} nonconforming");
+                assert!(
+                    m.conforms(&w.schema, w.schema.root()),
+                    "{id:?} nonconforming"
+                );
                 let bytes = encode(&w.schema, m);
                 let back = decode(&w.schema, &bytes).expect("decodes");
                 assert_eq!(*m, back, "{id:?} round trip");
@@ -279,9 +284,15 @@ mod tests {
     #[test]
     fn bench1_is_small_fields() {
         let w = generate(BenchId::Bench1, 7);
-        assert!(w.mean_wire_bytes() < 250.0, "Bench1 messages should be small");
+        assert!(
+            w.mean_wire_bytes() < 250.0,
+            "Bench1 messages should be small"
+        );
         let per_field = w.total_wire_bytes() as f64 / w.total_fields() as f64;
-        assert!(per_field < 16.0, "Bench1 fields should be tiny: {per_field}");
+        assert!(
+            per_field < 16.0,
+            "Bench1 fields should be tiny: {per_field}"
+        );
     }
 
     #[test]
@@ -302,7 +313,10 @@ mod tests {
             w.mean_wire_bytes()
         );
         let per_field = w.total_wire_bytes() as f64 / w.total_fields() as f64;
-        assert!(per_field > 500.0, "Bench5 fields should be big: {per_field}");
+        assert!(
+            per_field > 500.0,
+            "Bench5 fields should be big: {per_field}"
+        );
     }
 
     #[test]

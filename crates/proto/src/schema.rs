@@ -35,7 +35,10 @@ pub enum FieldType {
 impl FieldType {
     /// Whether the type is length-delimited on the wire.
     pub fn is_length_delimited(self) -> bool {
-        matches!(self, FieldType::Str | FieldType::Bytes | FieldType::Message(_))
+        matches!(
+            self,
+            FieldType::Str | FieldType::Bytes | FieldType::Message(_)
+        )
     }
 }
 
@@ -90,7 +93,11 @@ impl Schema {
                     assert!(r.0 < messages.len(), "dangling message ref in {}", m.name);
                 }
                 for g in &m.fields[i + 1..] {
-                    assert_ne!(f.number, g.number, "duplicate field {} in {}", f.number, m.name);
+                    assert_ne!(
+                        f.number, g.number,
+                        "duplicate field {} in {}",
+                        f.number, m.name
+                    );
                 }
             }
         }

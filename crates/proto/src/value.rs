@@ -74,7 +74,10 @@ impl MessageValue {
 
     /// First value of field `number`.
     pub fn get(&self, number: u32) -> Option<&Value> {
-        self.fields.iter().find(|(n, _)| *n == number).map(|(_, v)| v)
+        self.fields
+            .iter()
+            .find(|(n, _)| *n == number)
+            .map(|(_, v)| v)
     }
 
     /// Total number of fields, counting nested messages recursively.

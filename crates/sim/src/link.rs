@@ -130,8 +130,8 @@ mod tests {
 
     #[test]
     fn bandwidth_serializes() {
-        let mut l = Link::new(LinkConfig::with_gbps(Tick::ZERO, 1.0)); // 1 GB/s
-        // 1000 bytes at 1 GB/s = 1 us
+        let mut l = Link::new(LinkConfig::with_gbps(Tick::ZERO, 1.0));
+        // 1000 bytes at 1 GB/s = 1 us.
         assert_eq!(l.send(Tick::ZERO, 1000), Tick::from_us(1));
         assert_eq!(l.send(Tick::ZERO, 1000), Tick::from_us(2));
         assert_eq!(l.bytes_sent(), 2000);

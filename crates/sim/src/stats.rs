@@ -98,12 +98,8 @@ impl Summary {
     /// Panics if no samples were recorded.
     pub fn stddev(&self) -> f64 {
         let m = self.mean();
-        let var = self
-            .samples
-            .iter()
-            .map(|v| (v - m) * (v - m))
-            .sum::<f64>()
-            / self.samples.len() as f64;
+        let var =
+            self.samples.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.samples.len() as f64;
         var.sqrt()
     }
 

@@ -13,9 +13,9 @@
 //! * **GATHER** — random-source AMO plus a sequential-destination AMO.
 //! * **SG** — random source and random destination per op.
 
+use sim_core::SimRng;
 use simcxl_coherence::AtomicKind;
 use simcxl_mem::PhysAddr;
-use sim_core::SimRng;
 
 /// One remote atomic operation in a generated stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -233,11 +233,14 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        assert_eq!(generate(CtPattern::Sg, cfg()), generate(CtPattern::Sg, cfg()));
-        let other = CtConfig {
-            seed: 99,
-            ..cfg()
-        };
-        assert_ne!(generate(CtPattern::Sg, cfg()), generate(CtPattern::Sg, other));
+        assert_eq!(
+            generate(CtPattern::Sg, cfg()),
+            generate(CtPattern::Sg, cfg())
+        );
+        let other = CtConfig { seed: 99, ..cfg() };
+        assert_ne!(
+            generate(CtPattern::Sg, cfg()),
+            generate(CtPattern::Sg, other)
+        );
     }
 }

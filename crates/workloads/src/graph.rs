@@ -2,8 +2,8 @@
 //! fine-grained random-access patterns offloaded to CXL accelerators can
 //! benefit from the coherent CXL interconnect").
 
-use simcxl_mem::PhysAddr;
 use sim_core::SimRng;
+use simcxl_mem::PhysAddr;
 
 /// A random graph in CSR (compressed sparse row) form.
 #[derive(Debug, Clone)]
@@ -102,7 +102,11 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), order.len(), "duplicate visits");
         // A degree-8 random graph on 200 nodes is almost surely connected.
-        assert!(order.len() > 190, "unexpectedly disconnected: {}", order.len());
+        assert!(
+            order.len() > 190,
+            "unexpectedly disconnected: {}",
+            order.len()
+        );
     }
 
     #[test]

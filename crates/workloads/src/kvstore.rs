@@ -7,8 +7,8 @@
 //! region; GET/PUT traces follow a Zipf-like popularity skew, producing
 //! the fine-grained irregular accesses the paper targets.
 
-use simcxl_mem::PhysAddr;
 use sim_core::SimRng;
+use simcxl_mem::PhysAddr;
 
 /// One KV operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,7 +149,10 @@ mod tests {
             })
             .count();
         let frac = hot as f64 / ops.len() as f64;
-        assert!((frac - cfg.hot_fraction).abs() < 0.03, "hot fraction {frac}");
+        assert!(
+            (frac - cfg.hot_fraction).abs() < 0.03,
+            "hot fraction {frac}"
+        );
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! access patterns." The latency tests issue 32 sequential 64 B loads
 //! repeated 1000 times; the bandwidth tests issue 2048 requests.
 
-use simcxl_mem::{PhysAddr, CACHELINE_BYTES};
 use sim_core::SimRng;
+use simcxl_mem::{PhysAddr, CACHELINE_BYTES};
 
 /// Load or store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -105,7 +105,11 @@ mod tests {
 
     #[test]
     fn sequential_addresses_step_by_line() {
-        let reqs = generate(PhysAddr::new(0x1000), LsuOp::Load, LsuPattern::Sequential { count: 4 });
+        let reqs = generate(
+            PhysAddr::new(0x1000),
+            LsuOp::Load,
+            LsuPattern::Sequential { count: 4 },
+        );
         let addrs: Vec<u64> = reqs.iter().map(|r| r.addr.raw()).collect();
         assert_eq!(addrs, vec![0x1000, 0x1040, 0x1080, 0x10c0]);
     }

@@ -9,9 +9,7 @@
 //! Run with: `cargo run --example page_migration`
 
 use cohet_os::migration::{migrate_page, AdaptivePolicy, MigrationCost};
-use cohet_os::{
-    AccessKind, Accessor, NodeKind, NumaTopology, Process, VirtAddr,
-};
+use cohet_os::{AccessKind, Accessor, NodeKind, NumaTopology, Process, VirtAddr};
 use simcxl_mem::{AddrRange, PhysAddr};
 
 struct AtcShim;
@@ -43,14 +41,17 @@ fn main() {
 
     let buf = proc.malloc(4096).unwrap();
     // CPU first touch: frame lands on the CPU node.
-    let r = proc.access(Accessor::Cpu(cpu), buf, AccessKind::Write).unwrap();
+    let r = proc
+        .access(Accessor::Cpu(cpu), buf, AccessKind::Write)
+        .unwrap();
     println!("first touch by CPU -> frame on {}", r.node);
 
     // The XPU then hammers the page.
     let mut policy = AdaptivePolicy::new(2);
     policy.record(buf, cpu);
     for _ in 0..8 {
-        proc.access(Accessor::Xpu(xpu), buf, AccessKind::Read).unwrap();
+        proc.access(Accessor::Xpu(xpu), buf, AccessKind::Read)
+            .unwrap();
         policy.record(buf, xpu);
     }
 
@@ -61,7 +62,12 @@ fn main() {
         println!("migration completed in {cost}");
     }
 
-    let after = proc.access(Accessor::Xpu(xpu), buf, AccessKind::Read).unwrap();
-    println!("page now on {} (no refault: {})", after.node, !after.faulted);
+    let after = proc
+        .access(Accessor::Xpu(xpu), buf, AccessKind::Read)
+        .unwrap();
+    println!(
+        "page now on {} (no refault: {})",
+        after.node, !after.faulted
+    );
     assert_eq!(after.node, xpu);
 }

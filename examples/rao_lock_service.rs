@@ -19,7 +19,10 @@ fn main() {
         ..CtConfig::default()
     };
 
-    println!("lock service: {} lock acquisitions from remote clients\n", cfg.ops);
+    println!(
+        "lock service: {} lock acquisitions from remote clients\n",
+        cfg.ops
+    );
     for (name, pattern) in [
         ("one hot lock (CENTRAL)", CtPattern::Central),
         ("striped locks (STRIDE1)", CtPattern::Stride1),

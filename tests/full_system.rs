@@ -94,9 +94,13 @@ fn overcommit_and_free_cycle() {
 #[test]
 fn asic_profile_is_faster_than_fpga() {
     let run = |profile: DeviceProfile| {
-        let mut proc = CohetSystem::builder().profile(profile).build().spawn_process();
+        let mut proc = CohetSystem::builder()
+            .profile(profile)
+            .build()
+            .spawn_process();
         let buf = proc.malloc(4096).unwrap();
-        proc.launch_kernel(0, 64, move |ctx, i| ctx.store(buf + i * 8, i)).unwrap();
+        proc.launch_kernel(0, 64, move |ctx, i| ctx.store(buf + i * 8, i))
+            .unwrap();
         proc.elapsed()
     };
     let fpga = run(DeviceProfile::fpga_400mhz());

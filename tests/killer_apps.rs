@@ -1,11 +1,11 @@
 //! Integration tests for the two killer apps (RAO and RPC), checking
 //! functional correctness *and* the paper's performance shapes.
 
+use protowire::{genbench, BenchId};
 use simcxl_coherence::prelude::*;
 use simcxl_nic::{CxlRaoNic, PcieRaoNic, RpcNicModel, SerializeMode};
 use simcxl_pcie::DmaConfig;
 use simcxl_workloads::circustent::{self, CtConfig, CtPattern};
-use protowire::{genbench, BenchId};
 
 fn stream(pattern: CtPattern, ops: usize) -> Vec<simcxl_workloads::circustent::RaoOp> {
     circustent::generate(

@@ -2,12 +2,12 @@
 
 use cohet_os::{PageTable, Pte, VirtAddr, PAGE_SIZE};
 use proptest::prelude::*;
-use protowire::{FieldDescriptor, FieldType, MessageDescriptor, MessageValue, Schema, Value};
 use protowire::schema::MessageRef;
+use protowire::{FieldDescriptor, FieldType, MessageDescriptor, MessageValue, Schema, Value};
+use sim_core::Tick;
 use simcxl_coherence::prelude::*;
 use simcxl_coherence::AtomicKind;
 use simcxl_mem::PhysAddr;
-use sim_core::Tick;
 
 fn flat_schema() -> Schema {
     let root = MessageDescriptor {
