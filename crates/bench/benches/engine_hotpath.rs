@@ -1,0 +1,44 @@
+//! Event-loop hot-path bench: times the coherence-engine stress workload
+//! that `BENCH_hotpath.json` tracks across PRs.
+//!
+//! Set `HOTPATH_QUICK=1` (CI smoke mode) to run the reduced workload and
+//! fewer samples. The bench also refreshes `BENCH_hotpath.json` in the
+//! workspace root so the printed Criterion numbers and the committed
+//! perf trajectory never drift apart.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simcxl_bench::hotpath::{self, StressConfig};
+
+fn quick() -> bool {
+    std::env::var_os("HOTPATH_QUICK").is_some_and(|v| v != "0")
+}
+
+fn bench(c: &mut Criterion) {
+    let q = quick();
+    match hotpath::write_report(q) {
+        Ok(json) => print!("{json}"),
+        Err(e) => eprintln!("warning: could not write BENCH_hotpath.json: {e}"),
+    }
+    let mut g = c.benchmark_group("engine_hotpath");
+    g.sample_size(if q { 2 } else { 10 });
+    let stress_cfg = if q {
+        StressConfig::quick()
+    } else {
+        StressConfig {
+            requests: 30_000,
+            ..StressConfig::full()
+        }
+    };
+    g.bench_function("stress_mixed", |b| b.iter(|| hotpath::stress(&stress_cfg)));
+    let queue_cfg = StressConfig {
+        requests: if q { 5_000 } else { 20_000 },
+        // One giant wave: maximum queue depth, dominated by push/pop.
+        wave: usize::MAX,
+        ..StressConfig::full()
+    };
+    g.bench_function("deep_queue", |b| b.iter(|| hotpath::stress(&queue_cfg)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

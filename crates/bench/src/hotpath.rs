@@ -1,0 +1,352 @@
+//! Event-loop hot-path benchmark: a mixed coherence stress workload plus
+//! the machine-readable `BENCH_hotpath.json` perf report.
+//!
+//! The stress workload drives [`simcxl_coherence::ProtocolEngine`] through
+//! the exact code paths every figure regenerator exercises — event-queue
+//! push/pop, directory/MSHR map lookups, request-table churn, NUMA range
+//! classification, snoop fan-out — at a scale where the event loop itself
+//! dominates. `events_per_sec` over this workload is the repository's
+//! headline simulator-performance metric; the JSON report seeds the perf
+//! trajectory tracked across PRs.
+
+use cohet::experiments;
+use cohet::DeviceProfile;
+use sim_core::{SimRng, Tick};
+use simcxl_coherence::prelude::*;
+use simcxl_mem::{AddrRange, DramConfig, DramKind, MemoryInterface, PhysAddr};
+use std::time::Instant;
+
+/// Pre-overhaul reference point: the `BinaryHeap` + SipHash engine
+/// (commit `3cdac7e` plus this PR's two protocol-correctness fixes, which
+/// the stress workload requires), measured with [`StressConfig::full`] on
+/// the CI container. Recorded here so every later report can state its
+/// speedup against the same anchor; the stress `checksum` is comparable
+/// from this anchor forward.
+pub const BASELINE_LABEL: &str = "BinaryHeap+SipHash engine (3cdac7e + protocol fixes)";
+/// Events per wall-clock second of the baseline engine (full stress).
+pub const BASELINE_EVENTS_PER_SEC: f64 = 4_820_000.0;
+/// Nanoseconds per event of the baseline engine (full stress).
+pub const BASELINE_NS_PER_EVENT: f64 = 207.5;
+
+/// Parameters of the stress workload.
+#[derive(Debug, Clone)]
+pub struct StressConfig {
+    /// Number of peer caches (half CPU-L1-like, half HMC-like).
+    pub caches: usize,
+    /// Total external requests issued.
+    pub requests: usize,
+    /// Heavily contended lines (snoop + pending-queue pressure).
+    pub hot_lines: u64,
+    /// Lightly shared lines (directory + MSHR breadth).
+    pub cold_lines: u64,
+    /// Requests issued per wave before draining the queue.
+    pub wave: usize,
+    /// RNG seed; the workload is fully deterministic given the config.
+    pub seed: u64,
+}
+
+impl StressConfig {
+    /// The reference configuration the acceptance numbers use.
+    pub fn full() -> Self {
+        StressConfig {
+            caches: 8,
+            requests: 400_000,
+            hot_lines: 16,
+            cold_lines: 16_384,
+            wave: 256,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// A sub-second configuration for CI smoke runs.
+    pub fn quick() -> Self {
+        StressConfig {
+            requests: 20_000,
+            ..Self::full()
+        }
+    }
+}
+
+/// Outcome of one stress run.
+#[derive(Debug, Clone, Copy)]
+pub struct StressResult {
+    /// Events dispatched by the engine.
+    pub events: u64,
+    /// External requests completed.
+    pub completions: u64,
+    /// Wall-clock seconds.
+    pub wall_secs: f64,
+    /// Order-sensitive digest of the completion stream; identical runs
+    /// must produce identical checksums (determinism canary).
+    pub checksum: u64,
+}
+
+impl StressResult {
+    /// Events dispatched per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs
+    }
+
+    /// Wall-clock nanoseconds per dispatched event.
+    pub fn ns_per_event(&self) -> f64 {
+        self.wall_secs * 1e9 / self.events as f64
+    }
+}
+
+fn build_engine(cfg: &StressConfig) -> (ProtocolEngine, Vec<AgentId>) {
+    // Four 1 GB NUMA ranges with distinct extra latencies so every memory
+    // access walks the NUMA classifier.
+    let mut mi = MemoryInterface::new();
+    for node in 0..4u64 {
+        mi.add_memory(
+            AddrRange::new(PhysAddr::new(node << 30), 1 << 30),
+            DramConfig::preset(DramKind::Ddr5_4400),
+            Tick::ZERO,
+        );
+    }
+    let mut eng = ProtocolEngine::builder().memory(mi).build();
+    for node in 1..4u64 {
+        eng.add_numa_extra(
+            AddrRange::new(PhysAddr::new(node << 30), 1 << 30),
+            Tick::from_ns(40 * node),
+        );
+    }
+    let mut agents = Vec::new();
+    for i in 0..cfg.caches {
+        // Deliberately small caches: capacity evictions keep the
+        // writeback/eviction tables churning.
+        let c = if i % 2 == 0 {
+            CacheConfig {
+                size_bytes: 16 * 1024,
+                ways: 8,
+                ..CacheConfig::cpu_l1()
+            }
+        } else {
+            CacheConfig {
+                size_bytes: 32 * 1024,
+                ..CacheConfig::hmc_128k()
+            }
+        };
+        agents.push(eng.add_cache(c));
+    }
+    (eng, agents)
+}
+
+fn pick_addr(rng: &mut SimRng, cfg: &StressConfig) -> PhysAddr {
+    // 20% of accesses hammer the hot set (peer snoops, replay queues);
+    // the rest spread over the cold set across all four NUMA nodes.
+    let line = if rng.below(5) == 0 {
+        rng.below(cfg.hot_lines)
+    } else {
+        cfg.hot_lines + rng.below(cfg.cold_lines)
+    };
+    // Stripe lines round-robin over the four 1 GB NUMA nodes.
+    PhysAddr::new(((line % 4) << 30) | ((line / 4) * 64))
+}
+
+fn pick_op(rng: &mut SimRng) -> MemOp {
+    match rng.below(20) {
+        0..=9 => MemOp::Load,
+        10..=15 => MemOp::Store {
+            value: rng.next_u64(),
+        },
+        16 | 17 => MemOp::Rmw {
+            kind: AtomicKind::FetchAdd,
+            operand: 1,
+            operand2: 0,
+        },
+        18 => MemOp::NcPush {
+            value: rng.next_u64(),
+        },
+        _ => MemOp::Prefetch,
+    }
+}
+
+/// Runs the stress workload and reports wall-clock throughput.
+pub fn stress(cfg: &StressConfig) -> StressResult {
+    let (mut eng, agents) = build_engine(cfg);
+    let mut rng = SimRng::new(cfg.seed);
+    let mut issued = 0usize;
+    let mut completions = 0u64;
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    while issued < cfg.requests {
+        // Issue one wave spread over a 4 us window, then drain it. The
+        // interleaving keeps a realistic queue depth: follow-on protocol
+        // events mix with not-yet-issued external requests.
+        let window = Tick::from_us(4);
+        let base = eng.now();
+        let n = cfg.wave.min(cfg.requests - issued);
+        for _ in 0..n {
+            let agent = agents[rng.below(agents.len() as u64) as usize];
+            let at = base + Tick::from_ps(rng.below(window.as_ps()));
+            eng.issue(agent, pick_op(&mut rng), pick_addr(&mut rng, cfg), at);
+        }
+        issued += n;
+        for c in eng.run_until(base + window) {
+            completions += 1;
+            checksum = checksum
+                .rotate_left(7)
+                .wrapping_add(c.value ^ c.done.as_ps() ^ c.addr.raw());
+        }
+    }
+    for c in eng.run_to_quiescence() {
+        completions += 1;
+        checksum = checksum
+            .rotate_left(7)
+            .wrapping_add(c.value ^ c.done.as_ps() ^ c.addr.raw());
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    eng.verify_invariants();
+    StressResult {
+        events: eng.events_dispatched(),
+        completions,
+        wall_secs,
+        checksum,
+    }
+}
+
+/// Wall-clock timings of the per-figure regenerators (quick trial counts:
+/// the report tracks simulator speed, not figure fidelity).
+pub fn figure_timings(quick: bool) -> Vec<(&'static str, f64)> {
+    let profile = DeviceProfile::fpga_400mhz();
+    let trials = if quick { 5 } else { 50 };
+    let ops = if quick { 256 } else { 2048 };
+    let mut rows = Vec::new();
+    let mut time = |name: &'static str, f: &mut dyn FnMut()| {
+        let t = Instant::now();
+        f();
+        rows.push((name, t.elapsed().as_secs_f64()));
+    };
+    time("fig12_numa", &mut || {
+        let _ = experiments::fig12(&profile, trials);
+    });
+    time("fig13_latency", &mut || {
+        let _ = experiments::fig13(&profile, trials);
+    });
+    time("fig15_bandwidth", &mut || {
+        let _ = experiments::fig15(&profile);
+    });
+    time("fig16_dma_bw", &mut || {
+        let _ = experiments::dma_sweep(&profile);
+    });
+    time("fig17_rao", &mut || {
+        let _ = experiments::fig17(&profile, ops);
+    });
+    rows
+}
+
+/// Renders the hot-path report as JSON (see README for the schema).
+pub fn report_json(quick: bool) -> String {
+    let cfg = if quick {
+        StressConfig::quick()
+    } else {
+        StressConfig::full()
+    };
+    // Best-of-two: wall-clock minimum is the standard noise-resistant
+    // statistic (matches the vendored criterion's min column); the two
+    // runs double as a determinism check.
+    let first = stress(&cfg);
+    let second = stress(&cfg);
+    assert_eq!(
+        first.checksum, second.checksum,
+        "stress workload is nondeterministic"
+    );
+    let r = if second.wall_secs < first.wall_secs {
+        second
+    } else {
+        first
+    };
+    let figs = figure_timings(quick);
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"simcxl-hotpath/v1\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    out.push_str("  \"stress\": {\n");
+    out.push_str(&format!("    \"caches\": {},\n", cfg.caches));
+    out.push_str(&format!("    \"requests\": {},\n", cfg.requests));
+    out.push_str(&format!("    \"events\": {},\n", r.events));
+    out.push_str(&format!("    \"completions\": {},\n", r.completions));
+    out.push_str(&format!("    \"wall_secs\": {:.4},\n", r.wall_secs));
+    out.push_str(&format!(
+        "    \"events_per_sec\": {:.0},\n",
+        r.events_per_sec()
+    ));
+    out.push_str(&format!("    \"ns_per_event\": {:.1},\n", r.ns_per_event()));
+    out.push_str(&format!("    \"checksum\": \"{:#018x}\"\n", r.checksum));
+    out.push_str("  },\n");
+    out.push_str("  \"figures\": [\n");
+    for (i, (name, secs)) in figs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"wall_secs\": {secs:.4}}}{}\n",
+            if i + 1 < figs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"baseline\": {\n");
+    out.push_str(&format!("    \"label\": \"{BASELINE_LABEL}\",\n"));
+    out.push_str(&format!(
+        "    \"events_per_sec\": {BASELINE_EVENTS_PER_SEC:.0},\n"
+    ));
+    out.push_str(&format!(
+        "    \"ns_per_event\": {BASELINE_NS_PER_EVENT:.1}\n"
+    ));
+    out.push_str("  },\n");
+    // Quick mode runs a smaller workload than the baseline was measured
+    // on, so a ratio would be misleading there.
+    if quick {
+        out.push_str("  \"speedup_vs_baseline\": null\n");
+    } else {
+        out.push_str(&format!(
+            "  \"speedup_vs_baseline\": {:.2}\n",
+            r.events_per_sec() / BASELINE_EVENTS_PER_SEC
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Runs the report and writes `BENCH_hotpath.json` at the workspace
+/// root (anchored via the crate manifest, so invoking `cargo run`/
+/// `cargo bench` from a subdirectory cannot fork a stray copy).
+pub fn write_report(quick: bool) -> std::io::Result<String> {
+    let json = report_json(quick);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+    std::fs::write(path, &json)?;
+    Ok(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stress_is_deterministic() {
+        let cfg = StressConfig {
+            requests: 2_000,
+            ..StressConfig::quick()
+        };
+        let a = stress(&cfg);
+        let b = stress(&cfg);
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.completions, b.completions);
+        assert!(a.completions >= cfg.requests.min(2_000) as u64);
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let json = report_json(true);
+        assert!(json.contains("\"schema\": \"simcxl-hotpath/v1\""));
+        assert!(json.contains("\"events_per_sec\""));
+        assert!(json.contains("\"figures\""));
+        // Crude balance check in lieu of a JSON parser.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in report"
+        );
+    }
+}

@@ -2,6 +2,8 @@
 //! Criterion benches: every function prints the same rows/series the
 //! paper's corresponding table or figure shows.
 
+pub mod hotpath;
+
 use cohet::experiments::{self, Tier};
 use cohet::profile::reference;
 use cohet::DeviceProfile;

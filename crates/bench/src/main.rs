@@ -2,13 +2,33 @@
 //!
 //! ```text
 //! simcxl-report [table1|fig12|fig13|fig14|fig15|fig16|fig17|fig18|
-//!                calibration|headline|shapes|all]
+//!                calibration|headline|shapes|hotpath|all] [--json] [--quick]
 //! ```
+//!
+//! `hotpath` runs the event-loop stress workload; with `--json` it also
+//! writes `BENCH_hotpath.json` (see README for the schema). `--quick`
+//! selects the reduced CI smoke workload.
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let quick = args.iter().any(|a| a == "--quick");
+    let arg = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_owned());
     let run = |name: &str| {
         match name {
+            "hotpath" => {
+                let out = if json {
+                    simcxl_bench::hotpath::write_report(quick)
+                        .expect("writing BENCH_hotpath.json failed")
+                } else {
+                    simcxl_bench::hotpath::report_json(quick)
+                };
+                print!("{out}");
+            }
             "table1" => simcxl_bench::table1(),
             "fig12" => simcxl_bench::fig12(200),
             "fig13" => simcxl_bench::fig13(100),

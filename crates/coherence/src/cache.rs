@@ -9,8 +9,8 @@
 use crate::array::{CacheArray, Line, LineState};
 use crate::config::CacheConfig;
 use crate::msg::{AgentId, HitLevel, MemOp, Msg, MsgKind, ReqId};
-use sim_core::{Link, Tick};
-use std::collections::{HashMap, VecDeque};
+use sim_core::{FxHashMap, Link, Tick};
+use std::collections::VecDeque;
 
 /// Messages and completions produced while handling one event.
 #[derive(Debug, Default)]
@@ -67,8 +67,9 @@ pub struct CacheAgent {
     id: AgentId,
     cfg: CacheConfig,
     array: CacheArray,
-    mshrs: HashMap<u64, Mshr>,
-    evictions: HashMap<u64, EvictState>,
+    /// Line-keyed transaction tables; Fx-hashed (hit on every message).
+    mshrs: FxHashMap<u64, Mshr>,
+    evictions: FxHashMap<u64, EvictState>,
     pub(crate) link: Link,
     next_accept: Tick,
     stats: CacheStats,
@@ -82,8 +83,8 @@ impl CacheAgent {
             id,
             cfg,
             array,
-            mshrs: HashMap::new(),
-            evictions: HashMap::new(),
+            mshrs: FxHashMap::default(),
+            evictions: FxHashMap::default(),
             link,
             next_accept: Tick::ZERO,
             stats: CacheStats::default(),
@@ -315,17 +316,23 @@ impl CacheAgent {
             }
         }
         let t = now + self.cfg.lookup_latency;
-        let dirty = if let Some(line) = self.array.get_mut(msg.addr) {
+        if let Some(line) = self.array.get_mut(msg.addr) {
             let was_dirty = line.dirty;
             line.state = LineState::Shared;
             line.dirty = false;
-            was_dirty
-        } else if let Some(ev) = self.evictions.get(&msg.addr.raw()) {
-            ev.dirty
+            self.send(t, MsgKind::SnpRespDown { dirty: was_dirty }, msg.addr, out);
         } else {
-            false
-        };
-        self.send(t, MsgKind::SnpRespDown { dirty }, msg.addr, out);
+            // The line already left this cache (it sits in the writeback
+            // buffer or was silently clean-evicted): answer with an
+            // *invalidated* response so the home does not record us as a
+            // sharer of a line we no longer hold.
+            let dirty = self
+                .evictions
+                .get(&msg.addr.raw())
+                .map(|ev| ev.dirty)
+                .unwrap_or(false);
+            self.send(t, MsgKind::SnpRespInv { dirty }, msg.addr, out);
+        }
     }
 
     fn fill(

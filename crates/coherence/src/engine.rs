@@ -9,7 +9,6 @@ use crate::home::{DirEntry, HomeAgent, HomeOutbox, HomeStats};
 use crate::msg::{AgentId, HitLevel, MemOp, Msg, MsgKind, ReqId};
 use sim_core::{EventQueue, Link, SimRng, Tick};
 use simcxl_mem::{AddrRange, DramConfig, DramKind, MemoryInterface, PhysAddr};
-use std::collections::HashMap;
 
 pub use crate::msg::Completion;
 
@@ -43,18 +42,43 @@ struct MemAgent {
     link: Link,
     front_latency: Tick,
     /// Additional per-line latency by NUMA distance, applied when the
-    /// line's address falls into the node's range (Fig. 12).
+    /// line's address falls into the node's range (Fig. 12). Kept sorted
+    /// by range start so [`Self::extra_for`] can binary-search.
     numa_extra: Vec<(AddrRange, Tick)>,
 }
 
 impl MemAgent {
+    /// Registers `extra` latency for `range`, keeping the table sorted by
+    /// range start (ties: later registrations sort after earlier ones).
+    fn add_extra(&mut self, range: AddrRange, extra: Tick) {
+        let pos = self
+            .numa_extra
+            .partition_point(|(r, _)| r.base() <= range.base());
+        self.numa_extra.insert(pos, (range, extra));
+    }
+
+    /// Extra latency for `addr`: binary-search for the insertion point,
+    /// then walk back over the candidates starting at or before `addr`.
+    /// O(log n) for the disjoint ranges NUMA maps use; when ranges
+    /// overlap, the containing range with the greatest start wins.
     fn extra_for(&self, addr: PhysAddr) -> Tick {
-        self.numa_extra
+        let i = self.numa_extra.partition_point(|(r, _)| r.base() <= addr);
+        self.numa_extra[..i]
             .iter()
+            .rev()
             .find(|(r, _)| r.contains(addr))
             .map(|&(_, t)| t)
             .unwrap_or(Tick::ZERO)
     }
+}
+
+/// One slot of the engine's request slab: the slot index plus its
+/// generation form a [`ReqId`], so slots recycle without ever reissuing
+/// an id (generations disambiguate reuse).
+#[derive(Debug, Clone, Copy)]
+struct ReqSlot {
+    gen: u32,
+    req: Option<Request>,
 }
 
 /// Builder for [`ProtocolEngine`].
@@ -98,20 +122,22 @@ impl ProtocolEngineBuilder {
             );
             mi
         });
-        let home_cfg = self.config.home.clone();
+        let home_cfg = self.config.home;
+        let mem = MemAgent {
+            mi,
+            link: Link::new(home_cfg.mem_link),
+            front_latency: home_cfg.mem_front_latency,
+            numa_extra: Vec::new(),
+        };
         ProtocolEngine {
             queue: EventQueue::new(),
             now: Tick::ZERO,
-            home: HomeAgent::new(home_cfg.clone()),
-            mem: MemAgent {
-                mi,
-                link: Link::new(home_cfg.mem_link),
-                front_latency: home_cfg.mem_front_latency,
-                numa_extra: Vec::new(),
-            },
+            home: HomeAgent::new(home_cfg),
+            mem,
             caches: Vec::new(),
-            requests: HashMap::new(),
-            next_req: 0,
+            requests: Vec::new(),
+            free_slots: Vec::new(),
+            events: 0,
             func: FuncMem::new(),
             completions: Vec::new(),
             jitter: self.jitter_ns.map(|(seed, sd)| (SimRng::new(seed), sd)),
@@ -132,8 +158,12 @@ pub struct ProtocolEngine {
     home: HomeAgent,
     mem: MemAgent,
     caches: Vec<CacheAgent>,
-    requests: HashMap<ReqId, Request>,
-    next_req: u64,
+    /// Outstanding-request slab, indexed by the slot half of [`ReqId`].
+    /// Completed slots go on the free list, so long runs stay bounded by
+    /// the peak number of *concurrent* requests, not the total issued.
+    requests: Vec<ReqSlot>,
+    free_slots: Vec<u32>,
+    events: u64,
     func: FuncMem,
     completions: Vec<Completion>,
     jitter: Option<(SimRng, f64)>,
@@ -148,22 +178,39 @@ impl ProtocolEngine {
     }
 
     /// Attaches a peer cache and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics beyond 62 peer caches: the directory tracks sharers in a
+    /// 64-bit vector ([`crate::home::SharerSet`]), and agent indices 0–1
+    /// are the home and memory agents. Failing here keeps oversized
+    /// configs from panicking mid-simulation instead.
     pub fn add_cache(&mut self, cfg: CacheConfig) -> AgentId {
         let id = AgentId(2 + self.caches.len());
+        assert!(
+            id.index() < 64,
+            "at most 62 peer caches (sharer bit-vector is 64 bits wide)"
+        );
         self.home.add_cache_link(cfg.link);
         self.caches.push(CacheAgent::new(id, cfg));
         id
     }
 
     /// Registers an extra per-access latency for addresses in `range`
-    /// (NUMA hop modelling for Fig. 12).
+    /// (NUMA hop modelling for Fig. 12). If registered ranges overlap,
+    /// the containing range with the greatest start address wins.
     pub fn add_numa_extra(&mut self, range: AddrRange, extra: Tick) {
-        self.mem.numa_extra.push((range, extra));
+        self.mem.add_extra(range, extra);
     }
 
     /// Current simulated time.
     pub fn now(&self) -> Tick {
         self.now
+    }
+
+    /// Total events dispatched since construction (perf accounting).
+    pub fn events_dispatched(&self) -> u64 {
+        self.events
     }
 
     /// The functional memory (for seeding workload data).
@@ -205,29 +252,67 @@ impl ProtocolEngine {
     pub fn issue(&mut self, agent: AgentId, op: MemOp, addr: PhysAddr, at: Tick) -> ReqId {
         assert!(at >= self.now, "issue at {at} before now {}", self.now);
         assert!(agent.index() >= 2, "can only issue to cache agents");
-        let req = ReqId(self.next_req);
-        self.next_req += 1;
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                assert!(self.requests.len() < u32::MAX as usize, "request slab full");
+                self.requests.push(ReqSlot { gen: 0, req: None });
+                (self.requests.len() - 1) as u32
+            }
+        };
+        let req = ReqId::from_parts(slot, self.requests[slot as usize].gen);
         let mut delay = self.caches[agent.index() - 2].config().issue_latency;
         if let Some((rng, sd)) = &mut self.jitter {
             let j = rng.normal(0.0, *sd).max(0.0);
             delay += Tick::from_ns_f64(j);
         }
-        self.requests.insert(
-            req,
-            Request {
-                agent,
-                op,
-                addr,
-                issued: at,
-            },
-        );
+        self.requests[slot as usize].req = Some(Request {
+            agent,
+            op,
+            addr,
+            issued: at,
+        });
         self.queue.push(at + delay, Ev::Issue { req });
         req
     }
 
+    /// Looks up a live request; panics if the id was never issued or has
+    /// already completed (a stale generation).
+    fn request(&self, req: ReqId) -> Request {
+        let slot = &self.requests[req.slot()];
+        assert_eq!(slot.gen, req.gen(), "stale request id {req}");
+        slot.req.expect("request slot vacant")
+    }
+
     /// Time of the next pending event.
+    ///
+    /// Note: with the calendar queue this is a bucket scan, not an O(1)
+    /// heap peek — drivers stepping the engine event-by-event should use
+    /// [`run_next`](Self::run_next) instead of pairing this with
+    /// [`run_until`](Self::run_until).
     pub fn next_event(&self) -> Option<Tick> {
         self.queue.peek_tick()
+    }
+
+    /// Dispatches the earliest pending event *and everything else at the
+    /// same tick*, returning the completions produced; `None` if the
+    /// queue is empty.
+    ///
+    /// Exactly equivalent to `next_event()` followed by
+    /// `run_until(next)`, but fused into a single queue traversal per
+    /// event (no O(buckets) peek).
+    pub fn run_next(&mut self) -> Option<Vec<Completion>> {
+        let (tick, ev) = self.queue.pop()?;
+        debug_assert!(tick >= self.now, "time went backwards");
+        self.now = tick;
+        self.events += 1;
+        self.dispatch(ev);
+        while let Some((t, ev)) = self.queue.pop_before(tick) {
+            debug_assert!(t == tick);
+            self.events += 1;
+            self.dispatch(ev);
+        }
+        Some(std::mem::take(&mut self.completions))
     }
 
     /// Runs until the queue is exhausted; returns completions in
@@ -238,13 +323,13 @@ impl ProtocolEngine {
 
     /// Runs all events up to and including `t`; returns completions.
     pub fn run_until(&mut self, t: Tick) -> Vec<Completion> {
-        while let Some(next) = self.queue.peek_tick() {
-            if next > t {
-                break;
-            }
-            let (tick, ev) = self.queue.pop().expect("peeked");
+        // `pop_before` fuses the old peek-then-pop pair into a single
+        // queue traversal — the dispatch loop is the simulator's hottest
+        // path.
+        while let Some((tick, ev)) = self.queue.pop_before(t) {
             debug_assert!(tick >= self.now, "time went backwards");
             self.now = tick;
+            self.events += 1;
             self.dispatch(ev);
         }
         if t != Tick::MAX && t > self.now {
@@ -256,7 +341,7 @@ impl ProtocolEngine {
     fn dispatch(&mut self, ev: Ev) {
         match ev {
             Ev::Issue { req } => {
-                let r = self.requests[&req];
+                let r = self.request(req);
                 let idx = r.agent.index() - 2;
                 let mut out = std::mem::take(&mut self.outbox);
                 out.clear();
@@ -280,10 +365,17 @@ impl ProtocolEngine {
                 }
             }
             Ev::Complete { req, level } => {
-                let r = self
-                    .requests
-                    .remove(&req)
-                    .expect("completion for unknown request");
+                let slot = &mut self.requests[req.slot()];
+                assert_eq!(slot.gen, req.gen(), "completion for stale request {req}");
+                let r = slot.req.take().expect("completion for unknown request");
+                // Recycle the slot under the next generation — unless the
+                // generation counter would wrap, which would reissue an
+                // old ReqId; such a slot is retired instead (the slab
+                // grows by one and the id-uniqueness guarantee holds).
+                if let Some(gen) = slot.gen.checked_add(1) {
+                    slot.gen = gen;
+                    self.free_slots.push(req.slot() as u32);
+                }
                 let value = match r.op {
                     MemOp::Load | MemOp::Prefetch => self.func.read_u64(r.addr),
                     MemOp::Store { value } => {
@@ -491,7 +583,7 @@ impl ProtocolEngine {
                     "directory says {owner} owns {addr} but cache state is {state:?}"
                 );
             }
-            for sharer in &entry.sharers {
+            for sharer in entry.sharers.iter() {
                 let state = self.caches[sharer.index() - 2].line_state(addr);
                 assert_eq!(
                     state,
@@ -725,6 +817,43 @@ mod tests {
     }
 
     #[test]
+    fn run_next_matches_peek_then_run_until() {
+        // The fused step must process exactly the events run_until(next)
+        // would: same completions, same clock, batch by batch.
+        let build = |jitterless: &mut ProtocolEngine| {
+            let c = jitterless.add_cache(CacheConfig::cpu_l1());
+            let mut t = Tick::ZERO;
+            for i in 0..32u64 {
+                jitterless.issue(c, MemOp::Store { value: i }, PhysAddr::new(i % 8 * 64), t);
+                t += Tick::from_ns(7);
+            }
+        };
+        let mut a = ProtocolEngine::builder().build();
+        let mut b = ProtocolEngine::builder().build();
+        build(&mut a);
+        build(&mut b);
+        loop {
+            let stepped = a.run_next();
+            let reference = b.next_event().map(|t| b.run_until(t));
+            assert_eq!(stepped, reference);
+            assert_eq!(a.now(), b.now());
+            if stepped.is_none() {
+                break;
+            }
+        }
+        a.verify_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "62 peer caches")]
+    fn add_cache_rejects_more_than_sharer_bits() {
+        let mut eng = ProtocolEngine::builder().build();
+        for _ in 0..63 {
+            eng.add_cache(CacheConfig::cpu_l1());
+        }
+    }
+
+    #[test]
     fn coalesced_requests_complete_in_order() {
         let (mut eng, cpu, _) = engine();
         let addr = PhysAddr::new(0xb000);
@@ -772,6 +901,62 @@ mod tests {
             assert_eq!(c.value, i as u64);
         }
         eng.verify_invariants();
+    }
+
+    fn mem_agent_with(ranges: &[(u64, u64, u64)]) -> MemAgent {
+        let mut m = MemAgent {
+            mi: MemoryInterface::new(),
+            link: Link::new(sim_core::LinkConfig::latency_only(Tick::ZERO)),
+            front_latency: Tick::ZERO,
+            numa_extra: Vec::new(),
+        };
+        for &(base, size, extra_ns) in ranges {
+            m.add_extra(
+                AddrRange::new(PhysAddr::new(base), size),
+                Tick::from_ns(extra_ns),
+            );
+        }
+        m
+    }
+
+    #[test]
+    fn numa_extra_adjacent_ranges_resolve_exactly() {
+        const G: u64 = 1 << 30;
+        let m = mem_agent_with(&[(0, G, 10), (G, G, 20), (2 * G, G, 30)]);
+        // Boundaries are half-open: the last line of a range stays in it,
+        // the first address of the next range switches over.
+        assert_eq!(m.extra_for(PhysAddr::new(0)), Tick::from_ns(10));
+        assert_eq!(m.extra_for(PhysAddr::new(G - 64)), Tick::from_ns(10));
+        assert_eq!(m.extra_for(PhysAddr::new(G)), Tick::from_ns(20));
+        assert_eq!(m.extra_for(PhysAddr::new(2 * G - 1)), Tick::from_ns(20));
+        assert_eq!(m.extra_for(PhysAddr::new(2 * G)), Tick::from_ns(30));
+        assert_eq!(m.extra_for(PhysAddr::new(3 * G)), Tick::ZERO); // past all
+    }
+
+    #[test]
+    fn numa_extra_overlapping_ranges_prefer_greatest_start() {
+        const G: u64 = 1 << 30;
+        // A wide range with a narrower, later-starting override inside.
+        let m = mem_agent_with(&[(0, 4 * G, 5), (G, G, 7)]);
+        assert_eq!(m.extra_for(PhysAddr::new(G + 64)), Tick::from_ns(7));
+        // Past the narrow range's end the backward walk must skip it and
+        // land on the containing wide range.
+        assert_eq!(m.extra_for(PhysAddr::new(3 * G)), Tick::from_ns(5));
+        assert_eq!(m.extra_for(PhysAddr::new(64)), Tick::from_ns(5));
+    }
+
+    #[test]
+    fn numa_extra_lookup_is_insertion_order_independent() {
+        const G: u64 = 1 << 30;
+        let a = mem_agent_with(&[(0, G, 1), (G, G, 2), (2 * G, G, 3)]);
+        let b = mem_agent_with(&[(2 * G, G, 3), (0, G, 1), (G, G, 2)]);
+        for addr in [0, G - 64, G, 2 * G + 4096, 3 * G - 1] {
+            assert_eq!(
+                a.extra_for(PhysAddr::new(addr)),
+                b.extra_for(PhysAddr::new(addr)),
+                "mismatch at {addr:#x}"
+            );
+        }
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! home agent serializes conflicting lines, so completion order respects
 //! coherence order).
 
+use sim_core::FxHashMap;
 use simcxl_mem::PhysAddr;
-use std::collections::HashMap;
 
 /// Atomic read-modify-write operations supported by the RAO engines
 /// (CircusTent exercises FetchAdd and CompareSwap; the rest round out the
@@ -66,14 +66,16 @@ impl AtomicKind {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct FuncMem {
-    words: HashMap<u64, u64>,
+    /// Word store, Fx-hashed: `read_u64`/`write_u64` run once per
+    /// completion, so hashing cost is directly on the event loop.
+    words: FxHashMap<u64, u64>,
 }
 
 impl FuncMem {
     /// Creates an all-zero memory.
     pub fn new() -> Self {
         FuncMem {
-            words: HashMap::new(),
+            words: FxHashMap::default(),
         }
     }
 

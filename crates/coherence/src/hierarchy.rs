@@ -12,8 +12,8 @@
 
 use crate::msg::AgentId;
 use sim_core::Tick;
+use sim_core::{FxHashMap, FxHashSet};
 use simcxl_mem::PhysAddr;
-use std::collections::{HashMap, HashSet};
 
 /// Identifies a child node inside a supernode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -51,7 +51,7 @@ pub struct HierarchyStats {
 #[derive(Debug, Default, Clone)]
 struct GlobalEntry {
     /// Local agents holding a replica.
-    replicas: HashSet<NodeId>,
+    replicas: FxHashSet<NodeId>,
     /// Local agent holding the line exclusively, if any.
     owner: Option<NodeId>,
 }
@@ -66,8 +66,8 @@ pub struct HierarchicalDirectory {
     nodes: usize,
     cost: HierarchyCost,
     /// Per-node local replica sets.
-    local: Vec<HashSet<u64>>,
-    global: HashMap<u64, GlobalEntry>,
+    local: Vec<FxHashSet<u64>>,
+    global: FxHashMap<u64, GlobalEntry>,
     stats: HierarchyStats,
 }
 
@@ -82,8 +82,8 @@ impl HierarchicalDirectory {
         HierarchicalDirectory {
             nodes,
             cost,
-            local: vec![HashSet::new(); nodes],
-            global: HashMap::new(),
+            local: vec![FxHashSet::default(); nodes],
+            global: FxHashMap::default(),
             stats: HierarchyStats::default(),
         }
     }

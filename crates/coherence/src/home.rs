@@ -9,16 +9,76 @@
 
 use crate::config::HomeConfig;
 use crate::msg::{AgentId, HitLevel, Msg, MsgKind};
-use sim_core::{Link, Tick};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use sim_core::{FxHashMap, Link, Tick};
+use std::collections::VecDeque;
+
+/// Compact sharer set: the paper's "bit vector recording all sharers"
+/// (§IV-B2), one bit per agent index.
+///
+/// Inline (no heap) and O(1) for every operation; iteration yields agents
+/// in ascending index order, matching the ordered-set semantics the
+/// directory logic relies on for deterministic snoop fan-out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharerSet(u64);
+
+impl SharerSet {
+    fn bit(agent: AgentId) -> u64 {
+        let i = agent.index();
+        assert!(i < 64, "SharerSet supports agent indices < 64 (got {i})");
+        1 << i
+    }
+
+    /// Adds an agent; no-op if already present.
+    pub fn insert(&mut self, agent: AgentId) {
+        self.0 |= Self::bit(agent);
+    }
+
+    /// Removes an agent; no-op if absent.
+    pub fn remove(&mut self, agent: &AgentId) {
+        self.0 &= !Self::bit(*agent);
+    }
+
+    /// Whether the agent is present.
+    pub fn contains(&self, agent: &AgentId) -> bool {
+        self.0 & Self::bit(*agent) != 0
+    }
+
+    /// Whether no agents are present.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of sharers.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Drops all sharers.
+    pub fn clear(&mut self) {
+        self.0 = 0;
+    }
+
+    /// Iterates sharers in ascending agent-index order.
+    pub fn iter(&self) -> impl Iterator<Item = AgentId> + '_ {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            Some(AgentId(i))
+        })
+    }
+}
 
 /// Directory entry embedded in an LLC line.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct DirEntry {
     /// Exclusive holder (E or M at the peer), if any.
     pub owner: Option<AgentId>,
     /// Peers holding the line in S.
-    pub sharers: BTreeSet<AgentId>,
+    pub sharers: SharerSet,
     /// Whether the LLC copy is newer than memory.
     pub dirty: bool,
 }
@@ -61,13 +121,18 @@ pub struct HomeStats {
 #[derive(Debug)]
 pub struct HomeAgent {
     cfg: HomeConfig,
-    dir: HashMap<u64, DirEntry>,
-    busy: HashMap<u64, HomeTx>,
-    pending: HashMap<u64, VecDeque<(AgentId, MsgKind)>>,
+    /// Hot per-line maps keyed by line address; Fx-hashed — SipHash was
+    /// a measurable fraction of every directory lookup.
+    dir: FxHashMap<u64, DirEntry>,
+    busy: FxHashMap<u64, HomeTx>,
+    pending: FxHashMap<u64, VecDeque<(AgentId, MsgKind)>>,
     /// Links to each peer cache, indexed by `AgentId.index() - 2`.
     links: Vec<Link>,
     mem_link: Link,
     next_serve: Tick,
+    /// Reusable snoop-target snapshot, so fan-out does not allocate a
+    /// fresh `Vec<AgentId>` per request.
+    scratch: Vec<AgentId>,
     stats: HomeStats,
 }
 
@@ -82,12 +147,13 @@ impl HomeAgent {
         let mem_link = Link::new(cfg.mem_link);
         HomeAgent {
             cfg,
-            dir: HashMap::new(),
-            busy: HashMap::new(),
-            pending: HashMap::new(),
+            dir: FxHashMap::default(),
+            busy: FxHashMap::default(),
+            pending: FxHashMap::default(),
             links: Vec::new(),
             mem_link,
             next_serve: Tick::ZERO,
+            scratch: Vec::new(),
             stats: HomeStats::default(),
         }
     }
@@ -289,6 +355,10 @@ impl HomeAgent {
                 }
             }
             MsgKind::RdOwn => {
+                // Snapshot snoop targets into the reusable scratch buffer
+                // instead of allocating a Vec per request.
+                let mut targets = std::mem::take(&mut self.scratch);
+                targets.clear();
                 match self.dir.get(&key) {
                     None => {
                         self.stats.mem_fetches += 1;
@@ -297,8 +367,7 @@ impl HomeAgent {
                     }
                     Some(e) => {
                         let owner = e.owner;
-                        let others: Vec<AgentId> =
-                            e.sharers.iter().copied().filter(|&a| a != from).collect();
+                        targets.extend(e.sharers.iter().filter(|&a| a != from));
                         let upgrade = e.sharers.contains(&from) || owner == Some(from);
                         if let Some(o) = owner.filter(|&o| o != from) {
                             self.stats.snoops_sent += 1;
@@ -314,20 +383,20 @@ impl HomeAgent {
                                 },
                             );
                             self.send_to_cache(t, o, MsgKind::SnpInv, addr, None, out);
-                        } else if !others.is_empty() {
-                            self.stats.snoops_sent += others.len() as u64;
+                        } else if !targets.is_empty() {
+                            self.stats.snoops_sent += targets.len() as u64;
                             self.busy.insert(
                                 key,
                                 HomeTx::Collect {
                                     requester: from,
                                     for_own: true,
-                                    pending: others.len(),
+                                    pending: targets.len(),
                                     dirty_seen: false,
                                     upgrade,
                                     ncp: false,
                                 },
                             );
-                            for o in others {
+                            for &o in &targets {
                                 self.send_to_cache(t, o, MsgKind::SnpInv, addr, None, out);
                             }
                         } else {
@@ -345,8 +414,11 @@ impl HomeAgent {
                         }
                     }
                 }
+                self.scratch = targets;
             }
             MsgKind::ItoMWr => {
+                let mut targets = std::mem::take(&mut self.scratch);
+                targets.clear();
                 match self.dir.get(&key) {
                     None => {
                         // Full-line write: no memory fetch needed.
@@ -355,17 +427,17 @@ impl HomeAgent {
                             key,
                             DirEntry {
                                 owner: None,
-                                sharers: BTreeSet::new(),
+                                sharers: SharerSet::default(),
                                 dirty: true,
                             },
                         );
                         self.send_to_cache(t, from, MsgKind::GoNcp, addr, Some(HitLevel::Llc), out);
                     }
                     Some(e) => {
-                        let owner = e.owner.filter(|&o| o != from);
-                        let others: Vec<AgentId> =
-                            e.sharers.iter().copied().filter(|&a| a != from).collect();
-                        let targets: Vec<AgentId> = owner.into_iter().chain(others).collect();
+                        // Owner first, then sharers, matching the former
+                        // owner-chain-others snapshot order exactly.
+                        targets.extend(e.owner.iter().copied().filter(|&o| o != from));
+                        targets.extend(e.sharers.iter().filter(|&a| a != from));
                         if targets.is_empty() {
                             self.stats.ncp_pushes += 1;
                             let e = self.dir.get_mut(&key).expect("checked");
@@ -393,12 +465,13 @@ impl HomeAgent {
                                     ncp: true,
                                 },
                             );
-                            for o in targets {
+                            for &o in &targets {
                                 self.send_to_cache(t, o, MsgKind::SnpInv, addr, None, out);
                             }
                         }
                     }
                 }
+                self.scratch = targets;
             }
             MsgKind::DirtyEvict => {
                 let is_owner = self
@@ -548,7 +621,7 @@ impl HomeAgent {
                     key,
                     DirEntry {
                         owner: Some(requester),
-                        sharers: BTreeSet::new(),
+                        sharers: SharerSet::default(),
                         dirty: false,
                     },
                 );
@@ -573,15 +646,22 @@ impl HomeAgent {
         t: Tick,
         out: &mut HomeOutbox,
     ) {
-        if let Some(q) = self.pending.get_mut(&key) {
-            if let Some((from, kind)) = q.pop_front() {
-                if q.is_empty() {
-                    self.pending.remove(&key);
-                }
-                self.process_request(from, kind, addr, t, out);
-            } else {
+        // Drain queued requests until one re-occupies the line (its own
+        // completion will replay the rest) or the queue empties. Stopping
+        // after a request that finishes inline (LLC hit, evict notice)
+        // would strand the remainder forever.
+        while !self.busy.contains_key(&key) {
+            let Some(q) = self.pending.get_mut(&key) else {
+                return;
+            };
+            let Some((from, kind)) = q.pop_front() else {
+                self.pending.remove(&key);
+                return;
+            };
+            if q.is_empty() {
                 self.pending.remove(&key);
             }
+            self.process_request(from, kind, addr, t, out);
         }
     }
 }

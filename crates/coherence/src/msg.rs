@@ -35,12 +35,35 @@ impl fmt::Display for AgentId {
 }
 
 /// Identifies one outstanding external request.
+///
+/// Encodes a slot in the engine's request slab (low 32 bits) and that
+/// slot's generation (high 32 bits): slots recycle after completion, but
+/// an id is never reissued, so stale ids are detected instead of silently
+/// aliasing a newer request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ReqId(pub(crate) u64);
 
+impl ReqId {
+    pub(crate) fn from_parts(slot: u32, gen: u32) -> Self {
+        ReqId(((gen as u64) << 32) | slot as u64)
+    }
+
+    pub(crate) fn slot(self) -> usize {
+        (self.0 & 0xffff_ffff) as usize
+    }
+
+    pub(crate) fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
 impl fmt::Display for ReqId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "req{}", self.0)
+        if self.gen() == 0 {
+            write!(f, "req{}", self.slot())
+        } else {
+            write!(f, "req{}~{}", self.slot(), self.gen())
+        }
     }
 }
 

@@ -1,0 +1,105 @@
+//! Engine-level determinism after the calendar-queue/slab refactor: two
+//! identical runs must produce *identical* completion streams — same
+//! requests, same values, same timestamps, same order.
+
+use sim_core::{SimRng, Tick};
+use simcxl_coherence::prelude::*;
+use simcxl_mem::PhysAddr;
+
+/// A randomized-but-seeded workload mixing every operation type over a
+/// hot set (contention, snoops, replays) and a cold set (misses,
+/// evictions), issued in waves so the queue stays partially drained.
+fn run_workload(seed: u64) -> Vec<Completion> {
+    let mut eng = ProtocolEngine::builder().build();
+    let mut agents = Vec::new();
+    for i in 0..6 {
+        agents.push(eng.add_cache(if i % 2 == 0 {
+            CacheConfig {
+                size_bytes: 8 * 1024,
+                ways: 8,
+                ..CacheConfig::cpu_l1()
+            }
+        } else {
+            CacheConfig::hmc_128k()
+        }));
+    }
+    let mut rng = SimRng::new(seed);
+    let mut stream = Vec::new();
+    for _wave in 0..40 {
+        let base = eng.now();
+        for _ in 0..64 {
+            let agent = agents[rng.below(agents.len() as u64) as usize];
+            let line = if rng.below(4) == 0 {
+                rng.below(8)
+            } else {
+                8 + rng.below(512)
+            };
+            let addr = PhysAddr::new(line * 64);
+            let op = match rng.below(10) {
+                0..=4 => MemOp::Load,
+                5..=7 => MemOp::Store {
+                    value: rng.next_u64(),
+                },
+                8 => MemOp::Rmw {
+                    kind: AtomicKind::FetchAdd,
+                    operand: 1,
+                    operand2: 0,
+                },
+                _ => MemOp::NcPush {
+                    value: rng.next_u64(),
+                },
+            };
+            let at = base + Tick::from_ps(rng.below(2_000_000));
+            eng.issue(agent, op, addr, at);
+        }
+        stream.extend(eng.run_until(base + Tick::from_us(2)));
+    }
+    stream.extend(eng.run_to_quiescence());
+    eng.verify_invariants();
+    stream
+}
+
+#[test]
+fn identical_runs_produce_identical_completion_streams() {
+    let a = run_workload(42);
+    let b = run_workload(42);
+    assert_eq!(a.len(), b.len());
+    // Completion derives PartialEq over every field (req, agent, addr,
+    // op, issued, done, level, value): element-wise equality is the
+    // byte-identical-stream check.
+    assert_eq!(a, b);
+    assert!(a.len() >= 2_500, "workload too small: {}", a.len());
+}
+
+#[test]
+fn different_seeds_differ() {
+    // Sanity check that the stream actually depends on the workload (the
+    // equality above is not vacuous).
+    let a = run_workload(42);
+    let b = run_workload(43);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn request_slots_recycle_without_aliasing() {
+    // Far more sequential requests than are ever concurrently live: slot
+    // reuse must keep every returned ReqId unique.
+    let mut eng = ProtocolEngine::builder().build();
+    let c = eng.add_cache(CacheConfig::cpu_l1());
+    let mut seen = std::collections::HashSet::new();
+    let mut t = Tick::ZERO;
+    for i in 0..2_000u64 {
+        let id = eng.issue(
+            c,
+            MemOp::Store { value: i },
+            PhysAddr::new((i % 32) * 64),
+            t,
+        );
+        assert!(seen.insert(id), "ReqId reissued: {id}");
+        let done = eng.run_to_quiescence();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].req, id);
+        t = eng.now() + Tick::from_ns(1);
+    }
+    eng.verify_invariants();
+}

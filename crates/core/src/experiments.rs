@@ -140,8 +140,8 @@ pub fn cxl_load_bandwidth(profile: &DeviceProfile, tier: Tier) -> f64 {
             eng.issue(hmc, MemOp::Load, reqs[issued].addr, at);
             issued += 1;
         }
-        match eng.next_event() {
-            Some(t) => done += eng.run_until(t).len(),
+        match eng.run_next() {
+            Some(comps) => done += comps.len(),
             None => break,
         }
     }

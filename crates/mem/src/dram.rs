@@ -134,6 +134,10 @@ struct Channel {
 pub struct DramModel {
     config: DramConfig,
     channels: Vec<Channel>,
+    /// `(channel, bank, lines-per-row)` shift amounts when the geometry
+    /// is power-of-two (every preset is), replacing three divisions per
+    /// access with shifts and masks.
+    map_shifts: Option<(u32, u32, u32)>,
     reads: u64,
     writes: u64,
     row_hits: u64,
@@ -154,9 +158,23 @@ impl DramModel {
                 bus: Link::new(LinkConfig::with_gbps(Tick::ZERO, config.channel_gbps)),
             })
             .collect();
+        let lines_per_row = config.row_bytes / crate::CACHELINE_BYTES;
+        let map_shifts = if config.channels.is_power_of_two()
+            && config.banks_per_channel.is_power_of_two()
+            && lines_per_row.is_power_of_two()
+        {
+            Some((
+                config.channels.trailing_zeros(),
+                config.banks_per_channel.trailing_zeros(),
+                lines_per_row.trailing_zeros(),
+            ))
+        } else {
+            None
+        };
         DramModel {
             config,
             channels,
+            map_shifts,
             reads: 0,
             writes: 0,
             row_hits: 0,
@@ -171,6 +189,13 @@ impl DramModel {
     fn map(&self, addr: PhysAddr) -> (usize, usize, u64) {
         // Cacheline-interleave across channels, then banks, then rows.
         let line = addr.raw() / crate::CACHELINE_BYTES;
+        if let Some((ch_sh, bank_sh, lpr_sh)) = self.map_shifts {
+            let ch = (line & ((1 << ch_sh) - 1)) as usize;
+            let per_ch = line >> ch_sh;
+            let bank = (per_ch & ((1 << bank_sh) - 1)) as usize;
+            let row = per_ch >> (bank_sh + lpr_sh);
+            return (ch, bank, row);
+        }
         let ch = (line % self.config.channels as u64) as usize;
         let per_ch = line / self.config.channels as u64;
         let bank = (per_ch % self.config.banks_per_channel as u64) as usize;
@@ -194,7 +219,12 @@ impl DramModel {
 
     fn access(&mut self, now: Tick, addr: PhysAddr, bytes: u64, is_write: bool) -> Tick {
         let (ch, bank_idx, row) = self.map(addr);
-        let cfg = self.config.clone();
+        let (t_cas, t_rcd, t_rp, t_wr) = (
+            self.config.t_cas,
+            self.config.t_rcd,
+            self.config.t_rp,
+            self.config.t_wr,
+        );
         let channel = &mut self.channels[ch];
         let bank = &mut channel.banks[bank_idx];
 
@@ -202,15 +232,15 @@ impl DramModel {
         let array_latency = match bank.open_row {
             Some(open) if open == row => {
                 self.row_hits += 1;
-                cfg.t_cas
+                t_cas
             }
-            Some(_) => cfg.t_rp + cfg.t_rcd + cfg.t_cas,
-            None => cfg.t_rcd + cfg.t_cas,
+            Some(_) => t_rp + t_rcd + t_cas,
+            None => t_rcd + t_cas,
         };
         bank.open_row = Some(row);
         let data_ready = start + array_latency;
         let done = channel.bus.send(data_ready, bytes);
-        bank.busy_until = if is_write { done + cfg.t_wr } else { done };
+        bank.busy_until = if is_write { done + t_wr } else { done };
         done
     }
 

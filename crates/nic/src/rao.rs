@@ -127,9 +127,8 @@ impl CxlRaoNic {
                 );
                 issued += 1;
             }
-            match self.engine.next_event() {
-                Some(t) => {
-                    let comps = self.engine.run_until(t);
+            match self.engine.run_next() {
+                Some(comps) => {
                     done += comps.len();
                     now = now.max(self.engine.now());
                 }

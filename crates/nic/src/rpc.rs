@@ -368,9 +368,9 @@ impl RpcNicModel {
                     if let Some(d) = completed.remove(&want) {
                         break d;
                     }
-                    match eng.next_event() {
-                        Some(t) => {
-                            for c in eng.run_until(t) {
+                    match eng.run_next() {
+                        Some(comps) => {
+                            for c in comps {
                                 if matches!(c.op, MemOp::Load) {
                                     completed.insert(c.req, c.done);
                                 }

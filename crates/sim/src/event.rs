@@ -1,18 +1,62 @@
-//! A stable-order event queue.
+//! A stable-order event queue built on a two-tier calendar.
+//!
+//! # Structure
+//!
+//! The queue keeps near-future events in a ring of [`BUCKETS`] tick
+//! buckets of [`BUCKET_WIDTH_PS`] picoseconds each (a classic calendar
+//! queue) and far-future events — beyond the ring's ~33 µs horizon — in
+//! an overflow binary heap. Discrete-event simulations schedule almost
+//! exclusively into the near future, so the common case for both `push`
+//! and `pop` touches one bucket:
+//!
+//! * `push`: O(1) amortized — index the bucket by `(tick - epoch) >>
+//!   BUCKET_SHIFT` and append (or O(log n) into the overflow heap for
+//!   far-future events).
+//! * `pop` / [`pop_before`](EventQueue::pop_before): O(1) amortized —
+//!   each bucket is sorted once when the cursor reaches it, then popped
+//!   from the back; cursor advancement over empty buckets is amortized
+//!   across the events that crossed them.
+//! * [`peek_tick`](EventQueue::peek_tick): O(buckets) worst case (a scan
+//!   for the first non-empty bucket); intended for occasional
+//!   "when is the next event?" queries, not the dispatch loop — the
+//!   dispatch loop should use the fused `pop_before`.
+//!
+//! # Determinism
+//!
+//! Events carry a monotonically increasing sequence number; ties on the
+//! tick pop in insertion (FIFO) order, byte-identically to the previous
+//! `BinaryHeap` implementation (`crates/sim/tests/calendar_diff.rs`
+//! proves this differentially against a reference heap).
 
 use crate::Tick;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// log2 of the bucket width: 2^13 ps ≈ 8.2 ns per bucket, matching the
+/// nanosecond-scale latencies of the coherence/link models.
+const BUCKET_SHIFT: u32 = 13;
+/// Width of one calendar bucket in picoseconds.
+const BUCKET_WIDTH_PS: u64 = 1 << BUCKET_SHIFT;
+/// Number of ring buckets (power of two so indexing is a mask); the ring
+/// covers `BUCKETS * BUCKET_WIDTH_PS` ≈ 33.6 µs ahead of the cursor.
+const BUCKETS: usize = 4096;
+
 struct Entry<E> {
-    tick: Tick,
+    /// Raw picosecond timestamp (kept unwrapped for hot comparisons).
+    tick: u64,
     seq: u64,
     payload: E,
 }
 
+impl<E> Entry<E> {
+    fn key(&self) -> (u64, u64) {
+        (self.tick, self.seq)
+    }
+}
+
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.tick == other.tick && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -25,17 +69,15 @@ impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest tick pops first,
         // breaking ties by insertion order (FIFO) for determinism.
-        other
-            .tick
-            .cmp(&self.tick)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key().cmp(&self.key())
     }
 }
 
 /// A priority queue of timestamped events with deterministic FIFO tie-break.
 ///
 /// Events pushed at the same [`Tick`] pop in insertion order, which keeps
-/// whole-system simulations reproducible run to run.
+/// whole-system simulations reproducible run to run. See the [module
+/// docs](self) for the calendar-queue structure and complexity.
 ///
 /// ```
 /// use sim_core::{EventQueue, Tick};
@@ -46,15 +88,37 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop(), Some((Tick::from_ns(1), 'y')));
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Near-future ring; bucket `(cursor + d) & (BUCKETS-1)` covers ticks
+    /// `[epoch + d*W, epoch + (d+1)*W)`. The cursor bucket additionally
+    /// absorbs pushes at ticks `< epoch` (the simulated past), which the
+    /// per-bucket `(tick, seq)` ordering sequences correctly.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Ring index of the bucket starting at `epoch`.
+    cursor: usize,
+    /// Bucket-aligned tick of the cursor bucket's start.
+    epoch: u64,
+    /// Whether the cursor bucket is currently sorted (descending by
+    /// `(tick, seq)`, so the minimum pops from the back).
+    cur_sorted: bool,
+    /// Events in the ring.
+    ring_len: usize,
+    /// Far-future events (tick beyond the ring horizon at push time).
+    overflow: BinaryHeap<Entry<E>>,
     next_seq: u64,
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(BUCKETS);
+        buckets.resize_with(BUCKETS, Vec::new);
         EventQueue {
-            heap: BinaryHeap::new(),
+            buckets,
+            cursor: 0,
+            epoch: 0,
+            cur_sorted: false,
+            ring_len: 0,
+            overflow: BinaryHeap::new(),
             next_seq: 0,
         }
     }
@@ -63,32 +127,159 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, tick: Tick, payload: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { tick, seq, payload });
+        let entry = Entry {
+            tick: tick.as_ps(),
+            seq,
+            payload,
+        };
+        if self.in_ring_range(entry.tick) {
+            self.ring_insert(entry);
+        } else {
+            self.overflow.push(entry);
+        }
+    }
+
+    /// Whether a tick falls inside the ring's current horizon. Computed
+    /// via bucket distance so `u64::MAX` timestamps ("never") still
+    /// resolve instead of saturating past the horizon forever.
+    fn in_ring_range(&self, tick: u64) -> bool {
+        (tick.saturating_sub(self.epoch) >> BUCKET_SHIFT) < BUCKETS as u64
+    }
+
+    /// Inserts an entry whose tick lies below the ring horizon.
+    fn ring_insert(&mut self, entry: Entry<E>) {
+        // Pushes into the simulated past (tick < epoch) land in the
+        // cursor bucket: they must pop before everything else, and the
+        // per-bucket ordering puts them first.
+        let d = (entry.tick.saturating_sub(self.epoch) >> BUCKET_SHIFT) as usize;
+        debug_assert!(d < BUCKETS);
+        let idx = (self.cursor + d) & (BUCKETS - 1);
+        let bucket = &mut self.buckets[idx];
+        if idx == self.cursor && self.cur_sorted {
+            // Keep the active bucket sorted: binary-insert (descending,
+            // minimum at the back).
+            let key = entry.key();
+            let pos = bucket.partition_point(|e| e.key() > key);
+            bucket.insert(pos, entry);
+        } else {
+            bucket.push(entry);
+        }
+        self.ring_len += 1;
+    }
+
+    /// Pops far-future events that now fall below the ring horizon.
+    fn migrate_overflow(&mut self) {
+        while let Some(e) = self.overflow.peek() {
+            if !self.in_ring_range(e.tick) {
+                break;
+            }
+            let e = self.overflow.pop().expect("peeked");
+            self.ring_insert(e);
+        }
+    }
+
+    /// Advances to the next candidate event; returns `None` when empty.
+    /// With `bound`, stops (leaving the event queued) once the earliest
+    /// event is later than the bound.
+    fn pop_bounded(&mut self, bound: Option<u64>) -> Option<(Tick, E)> {
+        loop {
+            if self.ring_len == 0 {
+                // Ring drained: re-anchor the calendar at the overflow's
+                // earliest event and pull the next horizon's worth in.
+                let min = self.overflow.peek()?.tick;
+                if bound.is_some_and(|b| min > b) {
+                    return None;
+                }
+                debug_assert!(min >= self.epoch);
+                self.epoch = min & !(BUCKET_WIDTH_PS - 1);
+                self.cur_sorted = false;
+                self.migrate_overflow();
+                continue;
+            }
+            if !self.buckets[self.cursor].is_empty() {
+                if !self.cur_sorted {
+                    self.buckets[self.cursor].sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+                    self.cur_sorted = true;
+                }
+                let bucket = &mut self.buckets[self.cursor];
+                let next_tick = bucket.last().expect("nonempty").tick;
+                if bound.is_some_and(|b| next_tick > b) {
+                    return None;
+                }
+                let e = bucket.pop().expect("nonempty");
+                self.ring_len -= 1;
+                return Some((Tick::from_ps(e.tick), e.payload));
+            }
+            // Cursor bucket empty: advance one bucket. The horizon moves
+            // with it, so check the overflow for newly-near events.
+            self.cursor = (self.cursor + 1) & (BUCKETS - 1);
+            self.epoch += BUCKET_WIDTH_PS;
+            self.cur_sorted = false;
+            self.migrate_overflow();
+        }
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(Tick, E)> {
-        self.heap.pop().map(|e| (e.tick, e.payload))
+        self.pop_bounded(None)
+    }
+
+    /// Removes and returns the earliest event if its tick is `<= t`;
+    /// otherwise leaves the queue untouched and returns `None`.
+    ///
+    /// This fuses the peek-then-pop pattern of event loops into one
+    /// traversal: `while let Some((tick, ev)) = q.pop_before(t) { ... }`
+    /// dispatches everything up to and including `t` without re-walking
+    /// the queue per event.
+    ///
+    /// ```
+    /// use sim_core::{EventQueue, Tick};
+    /// let mut q = EventQueue::new();
+    /// q.push(Tick::from_ns(5), 'a');
+    /// q.push(Tick::from_ns(9), 'b');
+    /// assert_eq!(q.pop_before(Tick::from_ns(7)), Some((Tick::from_ns(5), 'a')));
+    /// assert_eq!(q.pop_before(Tick::from_ns(7)), None); // 'b' stays queued
+    /// assert_eq!(q.len(), 1);
+    /// ```
+    pub fn pop_before(&mut self, t: Tick) -> Option<(Tick, E)> {
+        self.pop_bounded(Some(t.as_ps()))
     }
 
     /// The timestamp of the earliest pending event.
+    ///
+    /// O(buckets) worst case; use [`pop_before`](Self::pop_before) in
+    /// dispatch loops instead of peeking then popping.
     pub fn peek_tick(&self) -> Option<Tick> {
-        self.heap.peek().map(|e| e.tick)
+        if self.ring_len > 0 {
+            for d in 0..BUCKETS {
+                let bucket = &self.buckets[(self.cursor + d) & (BUCKETS - 1)];
+                if let Some(min) = bucket.iter().map(Entry::key).min() {
+                    return Some(Tick::from_ps(min.0));
+                }
+            }
+            unreachable!("ring_len > 0 but all buckets empty");
+        }
+        self.overflow.peek().map(|e| Tick::from_ps(e.tick))
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.ring_len + self.overflow.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Drops all pending events.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.overflow.clear();
+        self.ring_len = 0;
+        self.cur_sorted = false;
     }
 }
 
@@ -101,7 +292,7 @@ impl<E> Default for EventQueue<E> {
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("len", &self.heap.len())
+            .field("len", &self.len())
             .field("next_tick", &self.peek_tick())
             .finish()
     }
@@ -153,5 +344,84 @@ mod tests {
         q.push(Tick::from_ns(1), 'c');
         assert_eq!(q.pop().unwrap().1, 'c');
         assert_eq!(q.pop().unwrap().1, 'a');
+    }
+
+    #[test]
+    fn far_future_events_overflow_and_return() {
+        let mut q = EventQueue::new();
+        // Far beyond the ~33 us ring horizon, plus one near event.
+        q.push(Tick::from_us(500), 'f');
+        q.push(Tick::from_us(2_000), 'g');
+        q.push(Tick::from_ns(3), 'n');
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((Tick::from_ns(3), 'n')));
+        assert_eq!(q.peek_tick(), Some(Tick::from_us(500)));
+        assert_eq!(q.pop(), Some((Tick::from_us(500), 'f')));
+        assert_eq!(q.pop(), Some((Tick::from_us(2_000), 'g')));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn overflow_preserves_fifo_ties() {
+        let mut q = EventQueue::new();
+        let far = Tick::from_us(100);
+        for i in 0..50 {
+            q.push(far, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn push_into_the_past_pops_first() {
+        let mut q = EventQueue::new();
+        q.push(Tick::from_us(40), 'a');
+        assert_eq!(q.pop().unwrap().1, 'a'); // epoch now ~40 us
+        q.push(Tick::from_ns(1), 'p'); // far in the popped past
+        q.push(Tick::from_us(41), 'b');
+        assert_eq!(q.pop().unwrap().1, 'p');
+        assert_eq!(q.pop().unwrap().1, 'b');
+    }
+
+    #[test]
+    fn pop_before_bounds_and_preserves() {
+        let mut q = EventQueue::new();
+        q.push(Tick::from_ns(10), 'a');
+        q.push(Tick::from_ns(10), 'b');
+        q.push(Tick::from_ns(20), 'c');
+        q.push(Tick::from_us(200), 'z'); // overflow tier
+        assert_eq!(q.pop_before(Tick::from_ns(5)), None);
+        assert_eq!(
+            q.pop_before(Tick::from_ns(10)),
+            Some((Tick::from_ns(10), 'a'))
+        );
+        assert_eq!(
+            q.pop_before(Tick::from_ns(10)),
+            Some((Tick::from_ns(10), 'b'))
+        );
+        assert_eq!(q.pop_before(Tick::from_ns(10)), None);
+        assert_eq!(q.pop_before(Tick::MAX), Some((Tick::from_ns(20), 'c')));
+        assert_eq!(q.pop_before(Tick::from_us(199)), None); // 'z' stays
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_before(Tick::MAX), Some((Tick::from_us(200), 'z')));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn mixed_tiers_interleave_correctly() {
+        let mut q = EventQueue::new();
+        // Alternate near/far pushes, then drain: order must be global.
+        for i in 0..200u64 {
+            q.push(Tick::from_ns(i * 777 % 50_000), ('n', i));
+            q.push(Tick::from_us(40 + i % 60), ('f', i));
+        }
+        let mut last = (Tick::ZERO, 0u64);
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last.0, "tick went backwards: {t} after {}", last.0);
+            last = (t, 0);
+            n += 1;
+        }
+        assert_eq!(n, 400);
     }
 }

@@ -22,6 +22,7 @@
 
 pub mod clock;
 pub mod event;
+pub mod fxhash;
 pub mod link;
 pub mod rng;
 pub mod stats;
@@ -29,6 +30,7 @@ pub mod time;
 
 pub use clock::Clock;
 pub use event::EventQueue;
+pub use fxhash::{FxHashMap, FxHashSet};
 pub use link::{Link, LinkConfig};
 pub use rng::SimRng;
 pub use stats::{mape, Counter, Summary};

@@ -62,6 +62,11 @@ pub struct Link {
     free_at: Tick,
     bytes_sent: u64,
     messages_sent: u64,
+    /// Memo of recent `(bytes, serialize_time)` results: traffic uses a
+    /// handful of fixed message sizes, and the float division in
+    /// [`LinkConfig::serialize_time`] is hot-loop-visible. `u64::MAX`
+    /// marks an empty way; values are identical to the uncached math.
+    ser_memo: [(u64, Tick); 2],
 }
 
 impl Link {
@@ -72,7 +77,26 @@ impl Link {
             free_at: Tick::ZERO,
             bytes_sent: 0,
             messages_sent: 0,
+            ser_memo: [(u64::MAX, Tick::ZERO); 2],
         }
+    }
+
+    fn serialize_time_memo(&mut self, bytes: u64) -> Tick {
+        if bytes == u64::MAX {
+            // Would alias the empty-way sentinel; bypass the memo.
+            return self.config.serialize_time(bytes);
+        }
+        if self.ser_memo[0].0 == bytes {
+            return self.ser_memo[0].1;
+        }
+        if self.ser_memo[1].0 == bytes {
+            self.ser_memo.swap(0, 1);
+            return self.ser_memo[0].1;
+        }
+        let t = self.config.serialize_time(bytes);
+        self.ser_memo[1] = self.ser_memo[0];
+        self.ser_memo[0] = (bytes, t);
+        t
     }
 
     /// The link configuration.
@@ -86,7 +110,7 @@ impl Link {
     /// latency overlaps with subsequent messages.
     pub fn send(&mut self, now: Tick, bytes: u64) -> Tick {
         let start = now.max(self.free_at);
-        let ser = self.config.serialize_time(bytes);
+        let ser = self.serialize_time_memo(bytes);
         self.free_at = start + ser;
         self.bytes_sent += bytes;
         self.messages_sent += 1;

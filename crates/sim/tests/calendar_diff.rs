@@ -1,0 +1,177 @@
+//! Differential suite: the calendar-queue [`EventQueue`] must pop in
+//! byte-identical order to the reference `BinaryHeap` implementation it
+//! replaced, under random interleavings of pushes and pops at both
+//! clustered (same few buckets) and far-apart (overflow-tier) ticks.
+
+use proptest::prelude::*;
+use sim_core::{EventQueue, Tick};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The pre-calendar implementation, verbatim: a max-heap of
+/// `(tick, seq)`-inverted entries with FIFO tie-break.
+struct RefEntry {
+    tick: Tick,
+    seq: u64,
+    payload: u64,
+}
+
+impl PartialEq for RefEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.tick == other.tick && self.seq == other.seq
+    }
+}
+impl Eq for RefEntry {}
+impl PartialOrd for RefEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for RefEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .tick
+            .cmp(&self.tick)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Default)]
+struct RefQueue {
+    heap: BinaryHeap<RefEntry>,
+    next_seq: u64,
+}
+
+impl RefQueue {
+    fn push(&mut self, tick: Tick, payload: u64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(RefEntry { tick, seq, payload });
+    }
+
+    fn pop(&mut self) -> Option<(Tick, u64)> {
+        self.heap.pop().map(|e| (e.tick, e.payload))
+    }
+
+    fn pop_before(&mut self, t: Tick) -> Option<(Tick, u64)> {
+        if self.heap.peek().map(|e| e.tick <= t).unwrap_or(false) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+}
+
+/// One scripted operation against both queues.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push(u64),
+    Pop,
+    PopBefore(u64),
+}
+
+/// Decodes `(sel, a, b)` triples into ops. Tick values mix three scales:
+/// clustered inside one bucket (a few ns), spread across the ring
+/// (tens of µs), and far-future overflow territory (ms), so every tier
+/// and migration path gets exercised.
+fn decode(sel: u8, a: u64, b: u64) -> Op {
+    let tick = match a % 5 {
+        0 => b % 8_000,                     // within one calendar bucket
+        1 => b % 2_000_000,                 // a few hundred buckets
+        2 => b % 40_000_000,                // spans the ring horizon
+        3 => 1_000_000_000 + b % 1_000_000, // deep overflow tier
+        _ => (b % 16) * 8_192,              // exact bucket boundaries
+    };
+    match sel % 4 {
+        0 | 1 => Op::Push(tick),
+        2 => Op::Pop,
+        _ => Op::PopBefore(tick),
+    }
+}
+
+fn run_differential(script: &[(u8, u64, u64)]) -> Result<(), String> {
+    let mut cal: EventQueue<u64> = EventQueue::new();
+    let mut reference = RefQueue::default();
+    let mut payload = 0u64;
+    for (i, &(sel, a, b)) in script.iter().enumerate() {
+        match decode(sel, a, b) {
+            Op::Push(t) => {
+                payload += 1;
+                cal.push(Tick::from_ps(t), payload);
+                reference.push(Tick::from_ps(t), payload);
+            }
+            Op::Pop => {
+                let (c, r) = (cal.pop(), reference.pop());
+                if c != r {
+                    return Err(format!("op {i}: pop {c:?} != reference {r:?}"));
+                }
+            }
+            Op::PopBefore(t) => {
+                let bound = Tick::from_ps(t);
+                let (c, r) = (cal.pop_before(bound), reference.pop_before(bound));
+                if c != r {
+                    return Err(format!("op {i}: pop_before({bound}) {c:?} != {r:?}"));
+                }
+            }
+        }
+        if cal.len() != reference.heap.len() {
+            return Err(format!(
+                "op {i}: len {} != reference {}",
+                cal.len(),
+                reference.heap.len()
+            ));
+        }
+    }
+    // Drain both fully: the tails must agree too.
+    loop {
+        let (c, r) = (cal.pop(), reference.pop());
+        if c != r {
+            return Err(format!("drain: {c:?} != {r:?}"));
+        }
+        if c.is_none() {
+            return Ok(());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random interleaved push/pop/pop_before across all tick tiers pops
+    /// byte-identically to the reference heap.
+    #[test]
+    fn calendar_matches_reference_heap(
+        script in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..400)
+    ) {
+        if let Err(e) = run_differential(&script) {
+            panic!("differential mismatch: {e}");
+        }
+    }
+
+    /// Heavy same-tick clustering (the engine's wave pattern): FIFO
+    /// tie-break order must survive bucket sorting and binary inserts.
+    #[test]
+    fn clustered_ties_match_reference(
+        ticks in prop::collection::vec(0u64..16, 1..300),
+        pops in prop::collection::vec(any::<bool>(), 1..300),
+    ) {
+        let mut cal: EventQueue<u64> = EventQueue::new();
+        let mut reference = RefQueue::default();
+        let mut payload = 0u64;
+        let mut pop_iter = pops.iter().cycle();
+        for &t in &ticks {
+            let tick = Tick::from_ps(t * 500); // many pushes share buckets/ticks
+            payload += 1;
+            cal.push(tick, payload);
+            reference.push(tick, payload);
+            if *pop_iter.next().unwrap() {
+                prop_assert_eq!(cal.pop(), reference.pop());
+            }
+        }
+        loop {
+            let (c, r) = (cal.pop(), reference.pop());
+            prop_assert_eq!(c, r);
+            if c.is_none() { break; }
+        }
+    }
+}
