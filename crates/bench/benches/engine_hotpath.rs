@@ -30,6 +30,15 @@ fn bench(c: &mut Criterion) {
         }
     };
     g.bench_function("stress_mixed", |b| b.iter(|| hotpath::stress(&stress_cfg)));
+    // The same workload with the directory interleaved across four
+    // homes: measures the topology router + per-shard serialization.
+    let multihome_cfg = StressConfig {
+        homes: 4,
+        ..stress_cfg.clone()
+    };
+    g.bench_function("stress_multihome", |b| {
+        b.iter(|| hotpath::stress(&multihome_cfg))
+    });
     let queue_cfg = StressConfig {
         requests: if q { 5_000 } else { 20_000 },
         // One giant wave: maximum queue depth, dominated by push/pop.

@@ -43,6 +43,9 @@ pub struct StressConfig {
     pub wave: usize,
     /// RNG seed; the workload is fully deterministic given the config.
     pub seed: u64,
+    /// Home agents the directory is line-interleaved across (1 = the
+    /// monolithic single-home engine the `stress` checksum anchors).
+    pub homes: usize,
 }
 
 impl StressConfig {
@@ -55,6 +58,7 @@ impl StressConfig {
             cold_lines: 16_384,
             wave: 256,
             seed: 0xC0FFEE,
+            homes: 1,
         }
     }
 
@@ -65,10 +69,29 @@ impl StressConfig {
             ..Self::full()
         }
     }
+
+    /// The multi-home stress variant: the same workload with the
+    /// directory line-interleaved across four home agents (two host
+    /// sockets + two expander-side shards is the smallest topology the
+    /// paper's multi-device figures need).
+    pub fn multihome() -> Self {
+        StressConfig {
+            homes: 4,
+            ..Self::full()
+        }
+    }
+
+    /// Sub-second multi-home configuration for CI smoke runs.
+    pub fn multihome_quick() -> Self {
+        StressConfig {
+            homes: 4,
+            ..Self::quick()
+        }
+    }
 }
 
 /// Outcome of one stress run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct StressResult {
     /// Events dispatched by the engine.
     pub events: u64,
@@ -79,6 +102,9 @@ pub struct StressResult {
     /// Order-sensitive digest of the completion stream; identical runs
     /// must produce identical checksums (determinism canary).
     pub checksum: u64,
+    /// Per-home directory statistics, indexed by `HomeId`; length 1 for
+    /// the single-home configuration. Exposes interleave imbalance.
+    pub per_home: Vec<simcxl_coherence::home::HomeStats>,
 }
 
 impl StressResult {
@@ -104,7 +130,14 @@ fn build_engine(cfg: &StressConfig) -> (ProtocolEngine, Vec<AgentId>) {
             Tick::ZERO,
         );
     }
-    let mut eng = ProtocolEngine::builder().memory(mi).build();
+    let mut eng = ProtocolEngine::builder()
+        .memory(mi)
+        .topology(if cfg.homes == 1 {
+            Topology::single()
+        } else {
+            Topology::line_interleaved(cfg.homes)
+        })
+        .build();
     for node in 1..4u64 {
         eng.add_numa_extra(
             AddrRange::new(PhysAddr::new(node << 30), 1 << 30),
@@ -203,6 +236,9 @@ pub fn stress(cfg: &StressConfig) -> StressResult {
         completions,
         wall_secs,
         checksum,
+        per_home: (0..eng.num_homes())
+            .map(|h| eng.home_stats_for(HomeId(h)))
+            .collect(),
     }
 }
 
@@ -236,36 +272,26 @@ pub fn figure_timings(quick: bool) -> Vec<(&'static str, f64)> {
     rows
 }
 
-/// Renders the hot-path report as JSON (see README for the schema).
-pub fn report_json(quick: bool) -> String {
-    let cfg = if quick {
-        StressConfig::quick()
-    } else {
-        StressConfig::full()
-    };
-    // Best-of-two: wall-clock minimum is the standard noise-resistant
-    // statistic (matches the vendored criterion's min column); the two
-    // runs double as a determinism check.
-    let first = stress(&cfg);
-    let second = stress(&cfg);
+/// Runs a stress config twice (determinism check) and keeps the
+/// faster run — wall-clock minimum is the standard noise-resistant
+/// statistic (matches the vendored criterion's min column).
+fn best_of_two(cfg: &StressConfig) -> StressResult {
+    let first = stress(cfg);
+    let second = stress(cfg);
     assert_eq!(
         first.checksum, second.checksum,
         "stress workload is nondeterministic"
     );
-    let r = if second.wall_secs < first.wall_secs {
+    if second.wall_secs < first.wall_secs {
         second
     } else {
         first
-    };
-    let figs = figure_timings(quick);
-    let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"simcxl-hotpath/v1\",\n");
-    out.push_str(&format!(
-        "  \"mode\": \"{}\",\n",
-        if quick { "quick" } else { "full" }
-    ));
-    out.push_str("  \"stress\": {\n");
+    }
+}
+
+fn push_stress_section(out: &mut String, cfg: &StressConfig, r: &StressResult) {
     out.push_str(&format!("    \"caches\": {},\n", cfg.caches));
+    out.push_str(&format!("    \"homes\": {},\n", cfg.homes));
     out.push_str(&format!("    \"requests\": {},\n", cfg.requests));
     out.push_str(&format!("    \"events\": {},\n", r.events));
     out.push_str(&format!("    \"completions\": {},\n", r.completions));
@@ -275,8 +301,46 @@ pub fn report_json(quick: bool) -> String {
         r.events_per_sec()
     ));
     out.push_str(&format!("    \"ns_per_event\": {:.1},\n", r.ns_per_event()));
-    out.push_str(&format!("    \"checksum\": \"{:#018x}\"\n", r.checksum));
+    out.push_str(&format!("    \"checksum\": \"{:#018x}\",\n", r.checksum));
+    // Per-home directory counters: with N>1 the spread across shards
+    // makes interleave imbalance visible at a glance.
+    out.push_str("    \"per_home\": [\n");
+    for (h, s) in r.per_home.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"home\": {h}, \"requests\": {}, \"llc_hits\": {}, \"mem_fetches\": {}, \"snoops_sent\": {}, \"write_pulls\": {}, \"ncp_pushes\": {}}}{}\n",
+            s.requests,
+            s.llc_hits,
+            s.mem_fetches,
+            s.snoops_sent,
+            s.write_pulls,
+            s.ncp_pushes,
+            if h + 1 < r.per_home.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ]\n");
     out.push_str("  },\n");
+}
+
+/// Renders the hot-path report as JSON (see README for the schema).
+pub fn report_json(quick: bool) -> String {
+    let (cfg, mh_cfg) = if quick {
+        (StressConfig::quick(), StressConfig::multihome_quick())
+    } else {
+        (StressConfig::full(), StressConfig::multihome())
+    };
+    let r = best_of_two(&cfg);
+    let mh = best_of_two(&mh_cfg);
+    let figs = figure_timings(quick);
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"simcxl-hotpath/v2\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    out.push_str("  \"stress\": {\n");
+    push_stress_section(&mut out, &cfg, &r);
+    out.push_str("  \"multihome\": {\n");
+    push_stress_section(&mut out, &mh_cfg, &mh);
     out.push_str("  \"figures\": [\n");
     for (i, (name, secs)) in figs.iter().enumerate() {
         out.push_str(&format!(
@@ -337,11 +401,43 @@ mod tests {
     }
 
     #[test]
+    fn multihome_stress_is_deterministic_and_spreads_load() {
+        let cfg = StressConfig {
+            requests: 2_000,
+            ..StressConfig::multihome_quick()
+        };
+        let a = stress(&cfg);
+        let b = stress(&cfg);
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.per_home.len(), 4);
+        // Line interleave must put directory traffic on every shard.
+        for (h, s) in a.per_home.iter().enumerate() {
+            assert!(s.requests > 0, "home {h} saw no requests: {:?}", a.per_home);
+        }
+    }
+
+    /// The N=1 topology must reproduce the completion stream of the
+    /// pre-multi-home engine bit-for-bit: the checksum and event count
+    /// below were recorded with `StressConfig::quick()` on the
+    /// single-`HomeAgent` engine immediately before the topology
+    /// refactor (PR 2's calendar-queue engine, commit `9ca7236`).
+    #[test]
+    fn n1_reproduces_pre_refactor_completion_stream() {
+        let r = stress(&StressConfig::quick());
+        assert_eq!(r.checksum, 0xb1e18caf05b4d6a4, "completion stream diverged");
+        assert_eq!(r.events, 139_624);
+        assert_eq!(r.completions, 20_000);
+    }
+
+    #[test]
     fn report_json_is_well_formed() {
         let json = report_json(true);
-        assert!(json.contains("\"schema\": \"simcxl-hotpath/v1\""));
+        assert!(json.contains("\"schema\": \"simcxl-hotpath/v2\""));
         assert!(json.contains("\"events_per_sec\""));
         assert!(json.contains("\"figures\""));
+        assert!(json.contains("\"multihome\""));
+        assert!(json.contains("\"per_home\""));
         // Crude balance check in lieu of a JSON parser.
         assert_eq!(
             json.matches('{').count(),

@@ -9,6 +9,7 @@
 use crate::array::{CacheArray, Line, LineState};
 use crate::config::CacheConfig;
 use crate::msg::{AgentId, HitLevel, MemOp, Msg, MsgKind, ReqId};
+use crate::topology::HomeId;
 use sim_core::{FxHashMap, Link, Tick};
 use std::collections::VecDeque;
 
@@ -138,6 +139,9 @@ impl CacheAgent {
 
     fn send(&mut self, now: Tick, kind: MsgKind, addr: simcxl_mem::PhysAddr, out: &mut Outbox) {
         let arrival = self.link.send(now, kind.bytes());
+        // The cache is topology-blind: it addresses "the home" and the
+        // engine's router rewrites `home` to the shard owning the line
+        // while draining the outbox.
         out.msgs.push((
             arrival,
             AgentId::HOME,
@@ -145,6 +149,7 @@ impl CacheAgent {
                 kind,
                 addr: addr.line(),
                 from: self.id,
+                home: HomeId::ZERO,
             },
         ));
     }

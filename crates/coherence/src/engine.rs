@@ -7,6 +7,7 @@ use crate::config::{CacheConfig, EngineConfig, HomeConfig};
 use crate::funcmem::FuncMem;
 use crate::home::{DirEntry, HomeAgent, HomeOutbox, HomeStats};
 use crate::msg::{AgentId, HitLevel, MemOp, Msg, MsgKind, ReqId};
+use crate::topology::{HomeId, Topology};
 use sim_core::{EventQueue, Link, SimRng, Tick};
 use simcxl_mem::{AddrRange, DramConfig, DramKind, MemoryInterface, PhysAddr};
 
@@ -39,8 +40,10 @@ struct Request {
 #[derive(Debug)]
 struct MemAgent {
     mi: MemoryInterface,
-    link: Link,
-    front_latency: Tick,
+    /// Per-home memory port: the reply link back to that home and the
+    /// memory-controller front latency its requests pay. Indexed by
+    /// [`HomeId`]; each home agent fronts its own memory channel.
+    ports: Vec<(Link, Tick)>,
     /// Additional per-line latency by NUMA distance, applied when the
     /// line's address falls into the node's range (Fig. 12). Kept sorted
     /// by range start so [`Self::extra_for`] can binary-search.
@@ -90,9 +93,26 @@ pub struct ProtocolEngineBuilder {
 }
 
 impl ProtocolEngineBuilder {
-    /// Sets the home-agent configuration.
+    /// Sets the home-agent configuration template (applied to every
+    /// home in the topology unless [`home_configs`](Self::home_configs)
+    /// overrides it).
     pub fn home(mut self, home: HomeConfig) -> Self {
         self.config.home = home;
+        self
+    }
+
+    /// Distributes the directory across home agents according to `t`
+    /// (default: [`Topology::single`], the monolithic home).
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.config.topology = t;
+        self
+    }
+
+    /// Per-home configuration overrides, indexed by [`HomeId`]; the
+    /// length must match the topology's home count (checked at
+    /// [`build`](Self::build)).
+    pub fn home_configs(mut self, cfgs: Vec<HomeConfig>) -> Self {
+        self.config.home_configs = Some(cfgs);
         self
     }
 
@@ -112,6 +132,11 @@ impl ProtocolEngineBuilder {
     }
 
     /// Builds the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`home_configs`](Self::home_configs) was given a
+    /// vector whose length differs from the topology's home count.
     pub fn build(self) -> ProtocolEngine {
         let mi = self.memory.unwrap_or_else(|| {
             let mut mi = MemoryInterface::new();
@@ -122,17 +147,36 @@ impl ProtocolEngineBuilder {
             );
             mi
         });
-        let home_cfg = self.config.home;
+        let topology = self.config.topology;
+        let home_cfgs: Vec<HomeConfig> = match self.config.home_configs {
+            Some(cfgs) => {
+                assert_eq!(
+                    cfgs.len(),
+                    topology.homes(),
+                    "home_configs length must match the topology's home count"
+                );
+                cfgs
+            }
+            None => vec![self.config.home; topology.homes()],
+        };
         let mem = MemAgent {
             mi,
-            link: Link::new(home_cfg.mem_link),
-            front_latency: home_cfg.mem_front_latency,
+            ports: home_cfgs
+                .iter()
+                .map(|c| (Link::new(c.mem_link), c.mem_front_latency))
+                .collect(),
             numa_extra: Vec::new(),
         };
+        let homes = home_cfgs
+            .into_iter()
+            .enumerate()
+            .map(|(i, cfg)| HomeAgent::new(HomeId(i), cfg))
+            .collect();
         ProtocolEngine {
             queue: EventQueue::new(),
             now: Tick::ZERO,
-            home: HomeAgent::new(home_cfg),
+            topology,
+            homes,
             mem,
             caches: Vec::new(),
             requests: Vec::new(),
@@ -155,7 +199,12 @@ impl ProtocolEngineBuilder {
 pub struct ProtocolEngine {
     queue: EventQueue<Ev>,
     now: Tick,
-    home: HomeAgent,
+    /// Which home owns which address; routes every request, snoop
+    /// response, writeback and replay.
+    topology: Topology,
+    /// One directory shard per home in the topology; `homes[h.index()]`
+    /// owns exactly the lines with `topology.home_for(addr) == h`.
+    homes: Vec<HomeAgent>,
     mem: MemAgent,
     caches: Vec<CacheAgent>,
     /// Outstanding-request slab, indexed by the slot half of [`ReqId`].
@@ -191,7 +240,10 @@ impl ProtocolEngine {
             id.index() < 64,
             "at most 62 peer caches (sharer bit-vector is 64 bits wide)"
         );
-        self.home.add_cache_link(cfg.link);
+        // Every home needs its own response link to the new cache.
+        for home in &mut self.homes {
+            home.add_cache_link(cfg.link);
+        }
         self.caches.push(CacheAgent::new(id, cfg));
         id
     }
@@ -227,9 +279,33 @@ impl ProtocolEngine {
         self.caches[agent.index() - 2].stats()
     }
 
-    /// Home-agent statistics.
+    /// Aggregated home-agent statistics (summed over every home in the
+    /// topology; for N=1 this is exactly the single home's counters).
     pub fn home_stats(&self) -> HomeStats {
-        self.home.stats()
+        let mut total = HomeStats::default();
+        for h in &self.homes {
+            total += h.stats();
+        }
+        total
+    }
+
+    /// Statistics of one home agent, for interleave-imbalance analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `home` is not part of the topology.
+    pub fn home_stats_for(&self, home: HomeId) -> HomeStats {
+        self.homes[home.index()].stats()
+    }
+
+    /// Number of home agents (`topology().homes()`).
+    pub fn num_homes(&self) -> usize {
+        self.homes.len()
+    }
+
+    /// The address-to-home topology this engine routes with.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
     }
 
     /// Line state at a given cache (tests).
@@ -237,9 +313,20 @@ impl ProtocolEngine {
         self.caches[agent.index() - 2].line_state(addr)
     }
 
-    /// Directory entry at the home agent (tests).
+    /// Directory entry for a line, consulted at the home that owns the
+    /// address (tests).
     pub fn dir_entry(&self, addr: PhysAddr) -> Option<&DirEntry> {
-        self.home.dir_entry(addr)
+        self.home_of(addr).dir_entry(addr)
+    }
+
+    /// The home agent owning `addr` under the engine's topology.
+    fn home_of(&self, addr: PhysAddr) -> &HomeAgent {
+        &self.homes[self.topology.home_for(addr).index()]
+    }
+
+    fn home_of_mut(&mut self, addr: PhysAddr) -> &mut HomeAgent {
+        let h = self.topology.home_for(addr);
+        &mut self.homes[h.index()]
     }
 
     /// Issues an external request; returns its id. The request reaches
@@ -352,7 +439,7 @@ impl ProtocolEngine {
                 if dst == AgentId::HOME {
                     let mut out = std::mem::take(&mut self.home_outbox);
                     out.msgs.clear();
-                    self.home.handle_msg(msg, self.now, &mut out);
+                    self.homes[msg.home.index()].handle_msg(msg, self.now, &mut out);
                     self.drain_home_outbox(out);
                 } else if dst == AgentId::MEMORY {
                     self.handle_mem(msg);
@@ -407,7 +494,12 @@ impl ProtocolEngine {
     }
 
     fn drain_cache_outbox(&mut self, mut out: Outbox) {
-        for (tick, dst, msg) in out.msgs.drain(..) {
+        for (tick, dst, mut msg) in out.msgs.drain(..) {
+            // Route home-bound traffic to the shard owning the line;
+            // the cache itself is topology-blind.
+            if dst == AgentId::HOME {
+                msg.home = self.topology.home_for(msg.addr);
+            }
             self.queue.push(
                 tick,
                 Ev::Deliver {
@@ -442,15 +534,19 @@ impl ProtocolEngine {
 
     fn handle_mem(&mut self, msg: Msg) {
         let extra = self.mem.extra_for(msg.addr);
+        // `msg.home` names the requesting home; replies return through
+        // that home's memory port.
+        let (_, front) = self.mem.ports[msg.home.index()];
         match msg.kind {
             MsgKind::MemRd => {
-                let start = self.now + self.mem.front_latency + extra;
+                let start = self.now + front + extra;
                 let done = self
                     .mem
                     .mi
                     .read(start, msg.addr, simcxl_mem::CACHELINE_BYTES)
                     .unwrap_or_else(|| panic!("no memory claims {}", msg.addr));
-                let arrival = self.mem.link.send(done + extra, MsgKind::MemData.bytes());
+                let link = &mut self.mem.ports[msg.home.index()].0;
+                let arrival = link.send(done + extra, MsgKind::MemData.bytes());
                 self.queue.push(
                     arrival,
                     Ev::Deliver {
@@ -459,13 +555,14 @@ impl ProtocolEngine {
                             kind: MsgKind::MemData,
                             addr: msg.addr,
                             from: AgentId::MEMORY,
+                            home: msg.home,
                         },
                         level: None,
                     },
                 );
             }
             MsgKind::MemWr => {
-                let start = self.now + self.mem.front_latency + extra;
+                let start = self.now + front + extra;
                 let _ = self
                     .mem
                     .mi
@@ -481,7 +578,11 @@ impl ProtocolEngine {
     pub fn preload(&mut self, agent: AgentId, addr: PhysAddr, state: LineState) {
         let idx = agent.index() - 2;
         self.caches[idx].preload(addr, state);
-        let mut entry = self.home.dir_entry(addr).cloned().unwrap_or_default();
+        let mut entry = self
+            .home_of(addr)
+            .dir_entry(addr)
+            .cloned()
+            .unwrap_or_default();
         match state {
             LineState::Modified | LineState::Exclusive => {
                 entry.owner = Some(agent);
@@ -491,21 +592,22 @@ impl ProtocolEngine {
                 entry.sharers.insert(agent);
             }
         }
-        self.home.preload(addr, entry);
+        self.home_of_mut(addr).preload(addr, entry);
     }
 
-    /// Installs a line only at the LLC (CLDEMOTE analog: data demoted from
-    /// a core cache into the LLC).
+    /// Installs a line only at the LLC of the home owning `addr`
+    /// (CLDEMOTE analog: data demoted from a core cache into the LLC).
     pub fn preload_llc(&mut self, addr: PhysAddr) {
-        self.home.preload(addr, DirEntry::default());
+        self.home_of_mut(addr).preload(addr, DirEntry::default());
     }
 
-    /// Removes a line everywhere (CLFLUSH analog). The line must be idle.
+    /// Removes a line everywhere, consulting the home that owns it
+    /// (CLFLUSH analog). The line must be idle.
     pub fn flush_line(&mut self, addr: PhysAddr) {
         for c in &mut self.caches {
             let _ = c.line_state(addr); // no-op; lines removed below
         }
-        self.home.flush_line(addr);
+        self.home_of_mut(addr).flush_line(addr);
     }
 
     /// Drops all cached state so the next access goes to memory
@@ -518,13 +620,15 @@ impl ProtocolEngine {
         for c in &mut self.caches {
             c.clear();
         }
-        self.home.clear();
+        for h in &mut self.homes {
+            h.clear();
+        }
     }
 
     /// Whether all agents are idle and the event queue is empty.
     pub fn is_quiescent(&self) -> bool {
         self.queue.is_empty()
-            && self.home.is_quiescent()
+            && self.homes.iter().all(HomeAgent::is_quiescent)
             && self.caches.iter().all(|c| c.is_quiescent())
     }
 
@@ -536,16 +640,21 @@ impl ProtocolEngine {
     /// Panics with a description of the first violated invariant.
     pub fn verify_invariants(&self) {
         assert!(self.is_quiescent(), "verify_invariants before quiescence");
-        // Cache -> directory direction.
+        // Cache -> directory direction: the entry must live at the home
+        // that owns the line's address.
         for c in &self.caches {
             for line in c.resident_lines() {
-                let entry = self.home.dir_entry(line.addr).unwrap_or_else(|| {
-                    panic!(
-                        "cache {} holds {} but no directory entry",
-                        c.id(),
-                        line.addr
-                    )
-                });
+                let entry = self
+                    .home_of(line.addr)
+                    .dir_entry(line.addr)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "cache {} holds {} but no directory entry at {}",
+                            c.id(),
+                            line.addr,
+                            self.topology.home_for(line.addr),
+                        )
+                    });
                 match line.state {
                     LineState::Modified | LineState::Exclusive => {
                         assert_eq!(
@@ -569,27 +678,39 @@ impl ProtocolEngine {
                 }
             }
         }
-        // Directory -> cache direction plus SWMR.
-        for (key, entry) in self.home.dir_iter() {
-            let addr = PhysAddr::new(key);
-            assert!(
-                entry.owner.is_none() || entry.sharers.is_empty(),
-                "line {addr} has both an owner and sharers"
-            );
-            if let Some(owner) = entry.owner {
-                let state = self.caches[owner.index() - 2].line_state(addr);
-                assert!(
-                    matches!(state, Some(LineState::Modified | LineState::Exclusive)),
-                    "directory says {owner} owns {addr} but cache state is {state:?}"
-                );
-            }
-            for sharer in entry.sharers.iter() {
-                let state = self.caches[sharer.index() - 2].line_state(addr);
+        // Directory -> cache direction plus SWMR, per home; every entry
+        // must also sit at the home the topology assigns its address.
+        // Since `home_for` is a total function, that shard-locality
+        // assert already rules out any line being tracked by two homes.
+        for h in &self.homes {
+            for (key, entry) in h.dir_iter() {
+                let addr = PhysAddr::new(key);
                 assert_eq!(
-                    state,
-                    Some(LineState::Shared),
-                    "directory says {sharer} shares {addr}"
+                    self.topology.home_for(addr),
+                    h.id(),
+                    "line {addr} tracked by {} but the topology homes it at {}",
+                    h.id(),
+                    self.topology.home_for(addr)
                 );
+                assert!(
+                    entry.owner.is_none() || entry.sharers.is_empty(),
+                    "line {addr} has both an owner and sharers"
+                );
+                if let Some(owner) = entry.owner {
+                    let state = self.caches[owner.index() - 2].line_state(addr);
+                    assert!(
+                        matches!(state, Some(LineState::Modified | LineState::Exclusive)),
+                        "directory says {owner} owns {addr} but cache state is {state:?}"
+                    );
+                }
+                for sharer in entry.sharers.iter() {
+                    let state = self.caches[sharer.index() - 2].line_state(addr);
+                    assert_eq!(
+                        state,
+                        Some(LineState::Shared),
+                        "directory says {sharer} shares {addr}"
+                    );
+                }
             }
         }
     }
@@ -906,8 +1027,10 @@ mod tests {
     fn mem_agent_with(ranges: &[(u64, u64, u64)]) -> MemAgent {
         let mut m = MemAgent {
             mi: MemoryInterface::new(),
-            link: Link::new(sim_core::LinkConfig::latency_only(Tick::ZERO)),
-            front_latency: Tick::ZERO,
+            ports: vec![(
+                Link::new(sim_core::LinkConfig::latency_only(Tick::ZERO)),
+                Tick::ZERO,
+            )],
             numa_extra: Vec::new(),
         };
         for &(base, size, extra_ns) in ranges {
@@ -982,6 +1105,132 @@ mod tests {
         let t = eng.now() + Tick::from_ns(1);
         let far = one(&mut eng, hmc, MemOp::Load, (1 << 30) + 0x100, t).latency();
         assert!(far > near + Tick::from_ns(80), "far {far} vs near {near}");
+    }
+
+    fn multihome_engine(homes: usize) -> (ProtocolEngine, AgentId, AgentId) {
+        let mut eng = ProtocolEngine::builder()
+            .topology(Topology::line_interleaved(homes))
+            .build();
+        let cpu = eng.add_cache(CacheConfig::cpu_l1());
+        let hmc = eng.add_cache(CacheConfig::hmc_128k());
+        (eng, cpu, hmc)
+    }
+
+    #[test]
+    fn multihome_store_load_round_trip_across_homes() {
+        let (mut eng, cpu, hmc) = multihome_engine(2);
+        // Adjacent lines land on different homes under line interleave.
+        let a0 = PhysAddr::new(0x1000); // line 0x40 -> home 0
+        let a1 = PhysAddr::new(0x1040); // line 0x41 -> home 1
+        assert_eq!(eng.topology().home_for(a0), HomeId(0));
+        assert_eq!(eng.topology().home_for(a1), HomeId(1));
+        one(
+            &mut eng,
+            cpu,
+            MemOp::Store { value: 7 },
+            a0.raw(),
+            Tick::ZERO,
+        );
+        let t = eng.now() + Tick::from_ns(1);
+        one(&mut eng, cpu, MemOp::Store { value: 9 }, a1.raw(), t);
+        let t = eng.now() + Tick::from_ns(1);
+        let c0 = one(&mut eng, hmc, MemOp::Load, a0.raw(), t);
+        let t = eng.now() + Tick::from_ns(1);
+        let c1 = one(&mut eng, hmc, MemOp::Load, a1.raw(), t);
+        assert_eq!(c0.value, 7);
+        assert_eq!(c1.value, 9);
+        // Each line's entry lives at its owning home and nowhere else.
+        assert!(eng.homes[0].dir_entry(a0).is_some());
+        assert!(eng.homes[1].dir_entry(a0).is_none());
+        assert!(eng.homes[1].dir_entry(a1).is_some());
+        assert!(eng.homes[0].dir_entry(a1).is_none());
+        eng.verify_invariants();
+    }
+
+    #[test]
+    fn multihome_stats_sum_to_aggregate() {
+        let (mut eng, cpu, _) = multihome_engine(4);
+        let mut t = Tick::ZERO;
+        for i in 0..32u64 {
+            eng.issue(cpu, MemOp::Store { value: i }, PhysAddr::new(i * 64), t);
+            t += Tick::from_ns(100);
+        }
+        eng.run_to_quiescence();
+        eng.verify_invariants();
+        let mut sum = HomeStats::default();
+        let mut active = 0;
+        for h in 0..eng.num_homes() {
+            let s = eng.home_stats_for(HomeId(h));
+            if s.requests > 0 {
+                active += 1;
+            }
+            sum += s;
+        }
+        assert_eq!(sum, eng.home_stats());
+        assert_eq!(active, 4, "line interleave should spread across all homes");
+        assert_eq!(sum.requests, 32);
+    }
+
+    #[test]
+    fn multihome_contended_atomics_sum_correctly() {
+        let (mut eng, cpu, hmc) = multihome_engine(4);
+        // Four contended lines, one per home.
+        let mut t = Tick::ZERO;
+        for _ in 0..25 {
+            for line in 0..4u64 {
+                let addr = PhysAddr::new(line * 64);
+                for agent in [cpu, hmc] {
+                    eng.issue(
+                        agent,
+                        MemOp::Rmw {
+                            kind: AtomicKind::FetchAdd,
+                            operand: 1,
+                            operand2: 0,
+                        },
+                        addr,
+                        t,
+                    );
+                }
+            }
+            t += Tick::from_ns(50);
+        }
+        let done = eng.run_to_quiescence();
+        assert_eq!(done.len(), 200);
+        for line in 0..4u64 {
+            assert_eq!(eng.func_mem().read_u64(PhysAddr::new(line * 64)), 50);
+        }
+        eng.verify_invariants();
+    }
+
+    #[test]
+    fn multihome_flush_and_preload_consult_owning_home() {
+        let (mut eng, _, hmc) = multihome_engine(2);
+        let odd = PhysAddr::new(0x40); // home 1
+        eng.preload_llc(odd);
+        assert!(eng.homes[1].dir_entry(odd).is_some());
+        let c = one(&mut eng, hmc, MemOp::Load, odd.raw(), Tick::ZERO);
+        assert_eq!(c.level, HitLevel::Llc);
+        eng.flush_all();
+        eng.preload(hmc, odd, LineState::Exclusive);
+        eng.verify_invariants();
+        eng.flush_all();
+        assert!(eng.dir_entry(odd).is_none());
+    }
+
+    #[test]
+    fn single_home_topology_is_the_default() {
+        let eng = ProtocolEngine::builder().build();
+        assert_eq!(eng.num_homes(), 1);
+        assert!(eng.topology().is_single());
+    }
+
+    #[test]
+    #[should_panic(expected = "home_configs length")]
+    fn mismatched_home_configs_rejected() {
+        let _ = ProtocolEngine::builder()
+            .topology(Topology::line_interleaved(4))
+            .home_configs(vec![HomeConfig::default(); 2])
+            .build();
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::config::HomeConfig;
 use crate::msg::{AgentId, HitLevel, Msg, MsgKind};
+use crate::topology::HomeId;
 use sim_core::{FxHashMap, Link, Tick};
 use std::collections::VecDeque;
 
@@ -103,8 +104,15 @@ enum HomeTx {
 }
 
 /// Statistics exposed by the [`HomeAgent`].
+///
+/// In a multi-home topology each home keeps its own copy; summing them
+/// (via [`AddAssign`](std::ops::AddAssign)) yields the aggregate the
+/// single-home engine used to report.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HomeStats {
+    /// Channel requests accepted (LLC hits + fetches + snoop-collects +
+    /// evict notices); per-home counts expose interleave imbalance.
+    pub requests: u64,
     /// Requests served from the LLC without memory or snoops.
     pub llc_hits: u64,
     /// Requests requiring a memory fetch.
@@ -117,9 +125,26 @@ pub struct HomeStats {
     pub ncp_pushes: u64,
 }
 
+impl std::ops::AddAssign for HomeStats {
+    fn add_assign(&mut self, rhs: HomeStats) {
+        self.requests += rhs.requests;
+        self.llc_hits += rhs.llc_hits;
+        self.mem_fetches += rhs.mem_fetches;
+        self.snoops_sent += rhs.snoops_sent;
+        self.write_pulls += rhs.write_pulls;
+        self.ncp_pushes += rhs.ncp_pushes;
+    }
+}
+
 /// The shared-LLC home agent.
+///
+/// A multi-home engine instantiates one per directory shard; each agent
+/// only ever sees the slice of the address space its
+/// [`Topology`](crate::topology::Topology) assigns to it.
 #[derive(Debug)]
 pub struct HomeAgent {
+    /// This agent's shard id, stamped into every message it sends.
+    id: HomeId,
     cfg: HomeConfig,
     /// Hot per-line maps keyed by line address; Fx-hashed — SipHash was
     /// a measurable fraction of every directory lookup.
@@ -143,9 +168,10 @@ pub(crate) struct HomeOutbox {
 }
 
 impl HomeAgent {
-    pub(crate) fn new(cfg: HomeConfig) -> Self {
+    pub(crate) fn new(id: HomeId, cfg: HomeConfig) -> Self {
         let mem_link = Link::new(cfg.mem_link);
         HomeAgent {
+            id,
             cfg,
             dir: FxHashMap::default(),
             busy: FxHashMap::default(),
@@ -160,6 +186,11 @@ impl HomeAgent {
 
     pub(crate) fn add_cache_link(&mut self, cfg: sim_core::LinkConfig) {
         self.links.push(Link::new(cfg));
+    }
+
+    /// This agent's shard id.
+    pub fn id(&self) -> HomeId {
+        self.id
     }
 
     /// Counters.
@@ -218,6 +249,7 @@ impl HomeAgent {
                 kind,
                 addr,
                 from: AgentId::HOME,
+                home: self.id,
             },
             level,
         ));
@@ -238,6 +270,7 @@ impl HomeAgent {
                 kind,
                 addr,
                 from: AgentId::HOME,
+                home: self.id,
             },
             None,
         ));
@@ -256,6 +289,7 @@ impl HomeAgent {
             | MsgKind::ItoMWr
             | MsgKind::DirtyEvict
             | MsgKind::CleanEvict => {
+                self.stats.requests += 1;
                 let start = now.max(self.next_serve);
                 self.next_serve = start + self.cfg.serve_gap;
                 let t = start + self.cfg.lookup_latency;

@@ -52,11 +52,13 @@ pub mod funcmem;
 pub mod hierarchy;
 pub mod home;
 pub mod msg;
+pub mod topology;
 
 pub use config::{CacheConfig, EngineConfig, HomeConfig};
 pub use engine::{Completion, ProtocolEngine, ProtocolEngineBuilder};
 pub use funcmem::{AtomicKind, FuncMem};
 pub use msg::{AgentId, HitLevel, MemOp, ReqId};
+pub use topology::{HomeId, Topology};
 
 /// Convenient glob-import of the types most users need.
 pub mod prelude {
@@ -64,4 +66,5 @@ pub mod prelude {
     pub use crate::engine::{Completion, ProtocolEngine};
     pub use crate::funcmem::AtomicKind;
     pub use crate::msg::{AgentId, HitLevel, MemOp, ReqId};
+    pub use crate::topology::{HomeId, Topology};
 }

@@ -1,6 +1,7 @@
 //! Protocol message vocabulary (CXL.cache-flavoured MESI).
 
 use crate::funcmem::AtomicKind;
+use crate::topology::HomeId;
 use sim_core::Tick;
 use simcxl_mem::PhysAddr;
 use std::fmt;
@@ -211,6 +212,11 @@ pub struct Msg {
     pub addr: PhysAddr,
     /// Sending agent.
     pub from: AgentId,
+    /// Directory shard the message concerns: the destination home for
+    /// cache→home and memory→home traffic (stamped by the engine's
+    /// topology router), the originating home for home→cache and
+    /// home→memory traffic.
+    pub home: HomeId,
 }
 
 /// A completed external request, reported by the engine.

@@ -1,0 +1,270 @@
+//! Multi-home topology: which home agent owns which address.
+//!
+//! SimCXL models systems whose directory is physically distributed
+//! across home nodes — host sockets and CXL expanders behind a switch —
+//! so the engine routes every request, snoop, writeback and replay
+//! through a [`Topology`] instead of assuming one monolithic home.
+//!
+//! Two policies cover the systems of interest:
+//!
+//! * **Pow2 interleave** ([`Topology::interleaved`]): `home = (addr /
+//!   stride) % n`, computed with the DRAM mapper's shift/mask trick via
+//!   [`simcxl_mem::Interleave`]. This is the symmetric multi-socket
+//!   case.
+//! * **Range table** ([`Topology::ranges`]): explicit `[range] -> home`
+//!   claims with an interleaved fallback for unclaimed addresses. This
+//!   is the asymmetric host-pool + expander-pool case, where a CXL
+//!   expander's memory is homed on its own device-side agent.
+//!
+//! Every physical address maps to exactly one home under either policy,
+//! so the homes partition the address space (the property tests pin
+//! this). [`Topology::single`] is the trivial N=1 special case the
+//! pre-multi-home engine hard-wired.
+
+use simcxl_mem::{AddrRange, Interleave, PhysAddr};
+use std::fmt;
+
+/// Identifies one home agent in a multi-home topology.
+///
+/// Distinct from [`crate::msg::AgentId`]: agent ids number the *ports*
+/// on the engine (home, memory, peer caches) while home ids number the
+/// directory shards. The single-home engine only ever sees
+/// [`HomeId::ZERO`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct HomeId(pub usize);
+
+impl HomeId {
+    /// The first (and in single-home topologies, only) home.
+    pub const ZERO: HomeId = HomeId(0);
+
+    /// Raw index into the engine's home vector.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for HomeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "home{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Policy {
+    /// Pure pow2 interleave across all homes.
+    Interleave(Interleave),
+    /// Explicit claims consulted first (sorted by range start; on
+    /// overlap the claim with the greatest start wins, like the NUMA
+    /// extra-latency table); unclaimed addresses fall back to the
+    /// interleave.
+    Ranges {
+        table: Vec<(AddrRange, HomeId)>,
+        fallback: Interleave,
+    },
+}
+
+/// Describes N home agents and the address-interleaving policy that
+/// partitions the physical address space among them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    homes: usize,
+    policy: Policy,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::single()
+    }
+}
+
+impl Topology {
+    /// The trivial single-home topology (the pre-refactor engine).
+    pub fn single() -> Self {
+        Topology {
+            homes: 1,
+            policy: Policy::Interleave(Interleave::single()),
+        }
+    }
+
+    /// `homes` home agents interleaved at `stride` bytes:
+    /// `home = (addr / stride) % homes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `homes` and `stride` are powers of two and
+    /// `stride` is at least one cacheline (see
+    /// [`simcxl_mem::Interleave::new`]).
+    pub fn interleaved(homes: usize, stride: u64) -> Self {
+        Topology {
+            homes,
+            policy: Policy::Interleave(Interleave::new(homes, stride)),
+        }
+    }
+
+    /// `homes` home agents interleaved per cacheline (the finest
+    /// symmetric split; adjacent lines land on different homes).
+    pub fn line_interleaved(homes: usize) -> Self {
+        Self::interleaved(homes, simcxl_mem::CACHELINE_BYTES)
+    }
+
+    /// An asymmetric topology: each `(range, home)` claim routes its
+    /// range to the named home; addresses outside every claim fall back
+    /// to a pow2 interleave across the first `fallback_homes` homes at
+    /// `fallback_stride` bytes. `homes` is the total home count and
+    /// must cover every id named in the table and the fallback.
+    ///
+    /// This is the host + expander shape: host sockets interleave the
+    /// host pool while each expander's range is claimed by its own
+    /// home agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `homes` is zero, a claim names a home `>= homes`, the
+    /// fallback parameters are not pow2, or `fallback_homes > homes`.
+    pub fn ranges(
+        homes: usize,
+        claims: Vec<(AddrRange, HomeId)>,
+        fallback_homes: usize,
+        fallback_stride: u64,
+    ) -> Self {
+        assert!(homes > 0, "topology needs at least one home");
+        assert!(
+            fallback_homes <= homes,
+            "fallback interleave names more homes than exist"
+        );
+        let mut table = claims;
+        for &(_, h) in &table {
+            assert!(h.0 < homes, "claim routes to nonexistent {h}");
+        }
+        table.sort_by_key(|(r, _)| r.base());
+        Topology {
+            homes,
+            policy: Policy::Ranges {
+                table,
+                fallback: Interleave::new(fallback_homes, fallback_stride),
+            },
+        }
+    }
+
+    /// Number of home agents.
+    pub fn homes(&self) -> usize {
+        self.homes
+    }
+
+    /// Whether this is the trivial single-home topology.
+    pub fn is_single(&self) -> bool {
+        self.homes == 1
+    }
+
+    /// The home agent owning `addr`. Total: every address maps to
+    /// exactly one home, so the homes partition the address space.
+    pub fn home_for(&self, addr: PhysAddr) -> HomeId {
+        match &self.policy {
+            Policy::Interleave(il) => HomeId(il.index_of(addr)),
+            Policy::Ranges { table, fallback } => {
+                // Same backward walk as the NUMA extra-latency table:
+                // binary-search the insertion point, then scan back over
+                // claims starting at or before `addr`.
+                let i = table.partition_point(|(r, _)| r.base() <= addr);
+                table[..i]
+                    .iter()
+                    .rev()
+                    .find(|(r, _)| r.contains(addr))
+                    .map(|&(_, h)| h)
+                    .unwrap_or_else(|| HomeId(fallback.index_of(addr)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_maps_everything_to_home_zero() {
+        let t = Topology::single();
+        assert!(t.is_single());
+        for a in [0u64, 64, 1 << 40, u64::MAX] {
+            assert_eq!(t.home_for(PhysAddr::new(a)), HomeId::ZERO);
+        }
+    }
+
+    #[test]
+    fn interleave_matches_div_mod_reference() {
+        let t = Topology::interleaved(4, 4096);
+        for a in [0u64, 64, 4095, 4096, 8192, 16384, 123 * 4096 + 17] {
+            assert_eq!(
+                t.home_for(PhysAddr::new(a)).index(),
+                ((a / 4096) % 4) as usize,
+                "mismatch at {a:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn line_interleave_alternates_adjacent_lines() {
+        let t = Topology::line_interleaved(2);
+        assert_eq!(t.home_for(PhysAddr::new(0)), HomeId(0));
+        assert_eq!(t.home_for(PhysAddr::new(64)), HomeId(1));
+        assert_eq!(t.home_for(PhysAddr::new(65)), HomeId(1));
+        assert_eq!(t.home_for(PhysAddr::new(128)), HomeId(0));
+    }
+
+    #[test]
+    fn range_claims_override_fallback() {
+        const G: u64 = 1 << 30;
+        // Hosts 0/1 interleave the low pool; the expander range [2G, 3G)
+        // is claimed by home 2.
+        let t = Topology::ranges(
+            3,
+            vec![(AddrRange::new(PhysAddr::new(2 * G), G), HomeId(2))],
+            2,
+            4096,
+        );
+        assert_eq!(t.home_for(PhysAddr::new(0)), HomeId(0));
+        assert_eq!(t.home_for(PhysAddr::new(4096)), HomeId(1));
+        assert_eq!(t.home_for(PhysAddr::new(2 * G)), HomeId(2));
+        assert_eq!(t.home_for(PhysAddr::new(3 * G - 64)), HomeId(2));
+        // Past the claim: back to the fallback interleave.
+        assert_eq!(
+            t.home_for(PhysAddr::new(3 * G)).index(),
+            ((3 * G / 4096) % 2) as usize
+        );
+    }
+
+    #[test]
+    fn overlapping_claims_prefer_greatest_start() {
+        const M: u64 = 1 << 20;
+        let t = Topology::ranges(
+            3,
+            vec![
+                (AddrRange::new(PhysAddr::new(0), 8 * M), HomeId(1)),
+                (AddrRange::new(PhysAddr::new(2 * M), M), HomeId(2)),
+            ],
+            1,
+            4096,
+        );
+        assert_eq!(t.home_for(PhysAddr::new(M)), HomeId(1));
+        assert_eq!(t.home_for(PhysAddr::new(2 * M + 64)), HomeId(2));
+        // Past the narrow claim the walk must skip back to the wide one.
+        assert_eq!(t.home_for(PhysAddr::new(4 * M)), HomeId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent")]
+    fn claim_to_missing_home_rejected() {
+        let _ = Topology::ranges(
+            2,
+            vec![(AddrRange::new(PhysAddr::new(0), 4096), HomeId(5))],
+            1,
+            4096,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pow2")]
+    fn non_pow2_interleave_rejected() {
+        let _ = Topology::interleaved(3, 4096);
+    }
+}

@@ -43,6 +43,8 @@ pub struct CohetSystem {
     host_mem: u64,
     xpu_mem: u64,
     expander_mem: Option<u64>,
+    homes: usize,
+    interleave_stride: u64,
 }
 
 /// Builder for [`CohetSystem`].
@@ -53,6 +55,8 @@ pub struct CohetSystemBuilder {
     host_mem: u64,
     xpu_mem: u64,
     expander_mem: Option<u64>,
+    homes: usize,
+    interleave_stride: u64,
 }
 
 impl Default for CohetSystemBuilder {
@@ -63,6 +67,8 @@ impl Default for CohetSystemBuilder {
             host_mem: 256 << 20,
             xpu_mem: 256 << 20,
             expander_mem: None,
+            homes: 1,
+            interleave_stride: cohet_os::PAGE_SIZE,
         }
     }
 }
@@ -101,6 +107,38 @@ impl CohetSystemBuilder {
         self
     }
 
+    /// Interleaves the directory across `n` host-socket home agents
+    /// (default 1: the monolithic home). With an expander attached, the
+    /// expander's memory is additionally homed on its *own* agent, so
+    /// the engine ends up with `n + 1` homes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a nonzero power of two (the interleave uses
+    /// shift/mask routing).
+    pub fn homes(mut self, n: usize) -> Self {
+        assert!(n >= 1 && n.is_power_of_two(), "home count must be pow2");
+        self.homes = n;
+        self
+    }
+
+    /// Sets the byte stride of the host-home interleave (default: one
+    /// OS page, so a page's lines share a home). Only meaningful with
+    /// [`homes`](Self::homes) `> 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `stride` is a power of two of at least one
+    /// cacheline.
+    pub fn interleave(mut self, stride: u64) -> Self {
+        assert!(
+            stride.is_power_of_two() && stride >= simcxl_mem::CACHELINE_BYTES,
+            "interleave stride must be pow2 and >= one cacheline"
+        );
+        self.interleave_stride = stride;
+        self
+    }
+
     /// Finishes the description.
     pub fn build(self) -> CohetSystem {
         CohetSystem {
@@ -109,6 +147,8 @@ impl CohetSystemBuilder {
             host_mem: self.host_mem,
             xpu_mem: self.xpu_mem,
             expander_mem: self.expander_mem,
+            homes: self.homes,
+            interleave_stride: self.interleave_stride,
         }
     }
 }
@@ -147,17 +187,36 @@ impl CohetSystem {
             base += self.xpu_mem.next_power_of_two();
         }
         let mut expander_node = None;
+        let mut expander_range = None;
         if let Some(bytes) = self.expander_mem {
             // The Type-3 expander: a CPU-less node behind the CXL.mem
             // link (the paper's Samsung device appears the same way).
             let range = AddrRange::new(PhysAddr::new(base), bytes);
             expander_node = Some(topo.add_node(NodeKind::CpulessMemory, range));
+            expander_range = Some(range);
             let cfg = simcxl_cxl::CxlMemConfig::expander_default();
             mi.add_memory(range, cfg.dram.clone(), cfg.link_latency);
         }
+        // Directory distribution: N host-socket homes interleave the
+        // address space; an expander's memory is homed on its own agent
+        // (the switch routes its range to the device-side directory).
+        // homes == 1 keeps the legacy monolithic-home shape.
+        let topology = if self.homes == 1 {
+            Topology::single()
+        } else if let Some(range) = expander_range {
+            Topology::ranges(
+                self.homes + 1,
+                vec![(range, HomeId(self.homes))],
+                self.homes,
+                self.interleave_stride,
+            )
+        } else {
+            Topology::interleaved(self.homes, self.interleave_stride)
+        };
         let mut engine = ProtocolEngine::builder()
             .home(self.profile.home.clone())
             .memory(mi)
+            .topology(topology)
             .build();
         let cpu_agent = engine.add_cache(CacheConfig::cpu_l1());
         let xpu_agents: Vec<AgentId> = (0..self.xpus)
@@ -517,6 +576,66 @@ mod tests {
         assert!(cost > sim_core::Tick::ZERO);
         assert_eq!(p.read_u64(buf).unwrap(), 0);
         let _ = node;
+    }
+
+    #[test]
+    fn multihome_system_stays_coherent() {
+        let mut p = CohetSystem::builder()
+            .homes(2)
+            .interleave(4096)
+            .build()
+            .spawn_process();
+        assert_eq!(p.engine().num_homes(), 2);
+        let buf = p.malloc(16 * 4096).unwrap();
+        // Touch pages that land on both homes and read them back
+        // coherently from CPU and XPU sides.
+        for i in 0..16u64 {
+            p.write_u64(buf + i * 4096, i).unwrap();
+        }
+        p.launch_kernel(0, 16, move |ctx, i| {
+            let v = ctx.load(buf + i * 4096)?;
+            ctx.store(buf + i * 4096, v * 10)
+        })
+        .unwrap();
+        for i in 0..16u64 {
+            assert_eq!(p.read_u64(buf + i * 4096).unwrap(), i * 10);
+        }
+        // Both host homes must have seen directory traffic.
+        let s0 = p.engine().home_stats_for(HomeId(0));
+        let s1 = p.engine().home_stats_for(HomeId(1));
+        assert!(s0.requests > 0 && s1.requests > 0, "{s0:?} vs {s1:?}");
+        p.engine().verify_invariants();
+    }
+
+    #[test]
+    fn expander_gets_its_own_home_node() {
+        let mut p = CohetSystem::builder()
+            .homes(2)
+            .expander_memory(8 << 20)
+            .build()
+            .spawn_process();
+        // Two host homes + one expander home.
+        assert_eq!(p.engine().num_homes(), 3);
+        let buf = p.malloc(4096).unwrap();
+        p.write_u64(buf, 77).unwrap();
+        // Demote the page onto the expander: subsequent accesses are
+        // homed at the expander's own agent.
+        p.demote_to_expander(buf).unwrap();
+        p.write_u64(buf, 78).unwrap();
+        assert_eq!(p.read_u64(buf).unwrap(), 78);
+        let pa = p.os.translate(buf).unwrap();
+        assert_eq!(p.engine().topology().home_for(pa), HomeId(2));
+        assert!(p.engine().home_stats_for(HomeId(2)).requests > 0);
+        p.engine().verify_invariants();
+    }
+
+    #[test]
+    fn single_home_with_expander_keeps_legacy_shape() {
+        let p = CohetSystem::builder()
+            .expander_memory(8 << 20)
+            .build()
+            .spawn_process();
+        assert_eq!(p.engine().num_homes(), 1);
     }
 
     #[test]

@@ -158,6 +158,73 @@ impl fmt::Display for AddrRange {
     }
 }
 
+/// Power-of-two address interleaving: `index = (addr / stride) % ways`,
+/// computed as a shift and a mask (the same trick the DRAM mapper uses
+/// for its channel/bank split).
+///
+/// Shared by the DRAM-style mappers and the coherence layer's multi-home
+/// [`Topology`](https://docs.rs/simcxl-coherence) so both sides agree on
+/// which slice of the address space a component owns.
+///
+/// ```
+/// use simcxl_mem::{Interleave, PhysAddr};
+/// let il = Interleave::new(4, 4096);
+/// assert_eq!(il.index_of(PhysAddr::new(0)), 0);
+/// assert_eq!(il.index_of(PhysAddr::new(4096)), 1);
+/// assert_eq!(il.index_of(PhysAddr::new(4 * 4096)), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interleave {
+    shift: u32,
+    mask: u64,
+}
+
+impl Interleave {
+    /// Interleaves across `ways` targets with the given byte `stride`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ways` and `stride` are both powers of two and
+    /// `stride` is at least one cacheline.
+    pub fn new(ways: usize, stride: u64) -> Self {
+        assert!(ways.is_power_of_two(), "interleave ways must be pow2");
+        assert!(stride.is_power_of_two(), "interleave stride must be pow2");
+        assert!(
+            stride >= CACHELINE_BYTES,
+            "interleave stride below one cacheline splits lines"
+        );
+        Interleave {
+            shift: stride.trailing_zeros(),
+            mask: ways as u64 - 1,
+        }
+    }
+
+    /// The trivial single-target interleave (every address maps to 0).
+    pub const fn single() -> Self {
+        // Mask 0 makes the shift irrelevant for `index_of`, but keep
+        // `stride()` reporting a value `new` itself would accept.
+        Interleave {
+            shift: CACHELINE_BYTES.trailing_zeros(),
+            mask: 0,
+        }
+    }
+
+    /// Number of interleave targets.
+    pub fn ways(&self) -> usize {
+        self.mask as usize + 1
+    }
+
+    /// Byte stride between consecutive targets.
+    pub fn stride(&self) -> u64 {
+        1 << self.shift
+    }
+
+    /// Which target owns `addr`; always `< ways()`.
+    pub fn index_of(&self, addr: PhysAddr) -> usize {
+        ((addr.raw() >> self.shift) & self.mask) as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,6 +262,39 @@ mod tests {
     #[should_panic]
     fn empty_range_rejected() {
         let _ = AddrRange::new(PhysAddr::new(0), 0);
+    }
+
+    #[test]
+    fn interleave_matches_div_mod() {
+        let il = Interleave::new(8, 256);
+        for addr in [0u64, 64, 255, 256, 4096, 12345 * 64, u64::MAX - 63] {
+            assert_eq!(
+                il.index_of(PhysAddr::new(addr)),
+                ((addr / 256) % 8) as usize,
+                "mismatch at {addr:#x}"
+            );
+        }
+        assert_eq!(il.ways(), 8);
+        assert_eq!(il.stride(), 256);
+    }
+
+    #[test]
+    fn interleave_single_is_constant_zero() {
+        let il = Interleave::single();
+        assert_eq!(il.ways(), 1);
+        assert_eq!(il.index_of(PhysAddr::new(u64::MAX)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pow2")]
+    fn interleave_rejects_non_pow2_ways() {
+        let _ = Interleave::new(3, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "cacheline")]
+    fn interleave_rejects_sub_line_stride() {
+        let _ = Interleave::new(2, 32);
     }
 
     #[test]

@@ -13,6 +13,6 @@ pub mod addr;
 pub mod dram;
 pub mod iface;
 
-pub use addr::{AddrRange, PhysAddr, CACHELINE_BYTES};
+pub use addr::{AddrRange, Interleave, PhysAddr, CACHELINE_BYTES};
 pub use dram::{DramConfig, DramKind, DramModel};
 pub use iface::{MemoryId, MemoryInterface};

@@ -135,6 +135,88 @@ proptest! {
         prop_assert_eq!(done.iter().filter(|c| matches!(c.op, MemOp::Rmw { .. })).count() as u64, adds);
     }
 
+    /// The interleave policy partitions the address space: every
+    /// address maps to exactly one home (a total function with index
+    /// `< homes`), and the shift/mask fast path agrees with the
+    /// brute-force `(addr / stride) % homes` reference.
+    #[test]
+    fn topology_interleave_partitions_address_space(
+        addr in any::<u64>(),
+        homes_log2 in 0u32..5,
+        stride_log2 in 6u32..13,
+    ) {
+        let homes = 1usize << homes_log2;
+        let stride = 1u64 << stride_log2;
+        let t = Topology::interleaved(homes, stride);
+        let h = t.home_for(PhysAddr::new(addr));
+        prop_assert!(h.index() < homes, "home {h:?} out of range");
+        prop_assert_eq!(h.index() as u64, (addr / stride) % homes as u64);
+    }
+
+    /// A range table built claim-by-claim to mirror a pow2 interleave
+    /// agrees with it on every address — inside the claimed region the
+    /// explicit claims route, outside it the fallback does, and the two
+    /// policies never disagree.
+    #[test]
+    fn topology_range_table_agrees_with_pow2(
+        addr in 0u64..(1 << 19),
+        homes_log2 in 1u32..3,
+        stride_log2 in 9u32..13,
+    ) {
+        let homes = 1usize << homes_log2;
+        let stride = 1u64 << stride_log2;
+        let pow2 = Topology::interleaved(homes, stride);
+        // Claims cover the low 256 KiB; the fallback interleave (same
+        // parameters) covers the rest, so the table must equal the
+        // pow2 policy everywhere.
+        let mut claims = Vec::new();
+        let mut base = 0u64;
+        while base < (1 << 18) {
+            claims.push((
+                simcxl_mem::AddrRange::new(PhysAddr::new(base), stride),
+                pow2.home_for(PhysAddr::new(base)),
+            ));
+            base += stride;
+        }
+        let table = Topology::ranges(homes, claims, homes, stride);
+        prop_assert_eq!(table.home_for(PhysAddr::new(addr)), pow2.home_for(PhysAddr::new(addr)));
+    }
+
+    /// Random traffic against a multi-home engine reaches quiescence
+    /// with the directory invariants intact (which include: every line
+    /// tracked at exactly the home owning it, and by no other home).
+    #[test]
+    fn multihome_invariants_hold_under_random_traffic(
+        homes_log2 in 0u32..3,
+        ops in prop::collection::vec((0u8..4, 0u64..16, any::<u16>()), 1..60)
+    ) {
+        let mut eng = ProtocolEngine::builder()
+            .topology(Topology::line_interleaved(1 << homes_log2))
+            .build();
+        let a = eng.add_cache(CacheConfig::cpu_l1());
+        let b = eng.add_cache(CacheConfig::hmc_128k());
+        let mut t = Tick::ZERO;
+        for (kind, line, val) in ops {
+            let agent = if val % 2 == 0 { a } else { b };
+            let addr = PhysAddr::new(0x4000 + line * 64);
+            let op = match kind {
+                0 => MemOp::Load,
+                1 => MemOp::Store { value: val as u64 },
+                2 => MemOp::Rmw {
+                    kind: AtomicKind::FetchAdd,
+                    operand: 1,
+                    operand2: 0,
+                },
+                _ => MemOp::NcPush { value: val as u64 },
+            };
+            eng.issue(agent, op, addr, t);
+            t += Tick::from_ns(val as u64 % 300);
+        }
+        eng.run_to_quiescence();
+        prop_assert!(eng.is_quiescent());
+        eng.verify_invariants();
+    }
+
     /// CircusTent streams always target the configured footprint and
     /// are deterministic in their seed.
     #[test]
