@@ -39,6 +39,13 @@ fn bench(c: &mut Criterion) {
     g.bench_function("stress_multihome", |b| {
         b.iter(|| hotpath::stress(&multihome_cfg))
     });
+    // The same multihome workload as one upfront batch on the parallel
+    // executor (stream-identical to sequential; wall time depends on the
+    // host's core count, recorded as hw_threads in the JSON report).
+    let threads = hotpath::report_threads(multihome_cfg.homes);
+    g.bench_function("stress_parallel", |b| {
+        b.iter(|| hotpath::stress_upfront(&multihome_cfg, threads))
+    });
     let queue_cfg = StressConfig {
         requests: if q { 5_000 } else { 20_000 },
         // One giant wave: maximum queue depth, dominated by push/pop.

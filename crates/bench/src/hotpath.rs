@@ -8,6 +8,13 @@
 //! dominates. `events_per_sec` over this workload is the repository's
 //! headline simulator-performance metric; the JSON report seeds the perf
 //! trajectory tracked across PRs.
+//!
+//! Three variants (see the README for the full `simcxl-hotpath/v3`
+//! schema): `stress` (single home, wave driver — its checksum is the
+//! repo's oldest determinism anchor), `multihome` (the same waves over a
+//! four-home line interleave), and `stress_parallel` (the multihome
+//! workload as one upfront batch on the parallel executor, whose stream
+//! is asserted equal to its own sequential run before being reported).
 
 use cohet::experiments;
 use cohet::DeviceProfile;
@@ -195,6 +202,14 @@ fn pick_op(rng: &mut SimRng) -> MemOp {
     }
 }
 
+/// Folds one completion into the order-sensitive stream digest — the
+/// single definition of the determinism canary every stress variant
+/// (and every pinned checksum) uses.
+fn fold_checksum(acc: u64, c: &Completion) -> u64 {
+    acc.rotate_left(7)
+        .wrapping_add(c.value ^ c.done.as_ps() ^ c.addr.raw())
+}
+
 /// Runs the stress workload and reports wall-clock throughput.
 pub fn stress(cfg: &StressConfig) -> StressResult {
     let (mut eng, agents) = build_engine(cfg);
@@ -218,16 +233,12 @@ pub fn stress(cfg: &StressConfig) -> StressResult {
         issued += n;
         for c in eng.run_until(base + window) {
             completions += 1;
-            checksum = checksum
-                .rotate_left(7)
-                .wrapping_add(c.value ^ c.done.as_ps() ^ c.addr.raw());
+            checksum = fold_checksum(checksum, &c);
         }
     }
     for c in eng.run_to_quiescence() {
         completions += 1;
-        checksum = checksum
-            .rotate_left(7)
-            .wrapping_add(c.value ^ c.done.as_ps() ^ c.addr.raw());
+        checksum = fold_checksum(checksum, &c);
     }
     let wall_secs = start.elapsed().as_secs_f64();
     eng.verify_invariants();
@@ -240,6 +251,87 @@ pub fn stress(cfg: &StressConfig) -> StressResult {
             .map(|h| eng.home_stats_for(HomeId(h)))
             .collect(),
     }
+}
+
+/// Issues the whole workload up front — `requests` mixed operations
+/// spaced ~1 ns apart — and drains it with a single `run_to_quiescence`.
+///
+/// This is the driver shape for the parallel executor: one big batch
+/// amortizes the per-run thread spawn and lets tick windows carry many
+/// events between barriers. With `threads <= 1` the engine runs the
+/// identical workload sequentially, which is the reference stream the
+/// parallel run must reproduce bit-for-bit (asserted by
+/// [`stress_parallel_pair`] and the determinism tests).
+pub fn stress_upfront(cfg: &StressConfig, threads: usize) -> StressResult {
+    let (mut eng, agents) = build_engine(cfg);
+    if threads > 1 {
+        eng.set_parallel(Some(simcxl_coherence::ParallelConfig::new(threads)));
+    }
+    let mut rng = SimRng::new(cfg.seed);
+    let start = Instant::now();
+    for i in 0..cfg.requests {
+        let agent = agents[rng.below(agents.len() as u64) as usize];
+        let op = pick_op(&mut rng);
+        let addr = pick_addr(&mut rng, cfg);
+        let at = Tick::from_ns(i as u64) + Tick::from_ps(rng.below(999));
+        eng.issue(agent, op, addr, at);
+    }
+    let mut completions = 0u64;
+    let mut checksum = 0u64;
+    for c in eng.run_to_quiescence() {
+        completions += 1;
+        checksum = fold_checksum(checksum, &c);
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    eng.verify_invariants();
+    if threads > 1 {
+        assert!(
+            eng.parallel_runs() > 0,
+            "parallel stress never engaged the parallel executor"
+        );
+    }
+    StressResult {
+        events: eng.events_dispatched(),
+        completions,
+        wall_secs,
+        checksum,
+        per_home: (0..eng.num_homes())
+            .map(|h| eng.home_stats_for(HomeId(h)))
+            .collect(),
+    }
+}
+
+/// Runs the upfront workload sequentially and on `threads` shards and
+/// checks the streams agree; returns `(sequential, parallel)`.
+///
+/// # Panics
+///
+/// Panics if the parallel run's completion checksum, event count or
+/// completion count diverges from the sequential run — the determinism
+/// canary the report publishes.
+pub fn stress_parallel_pair(cfg: &StressConfig, threads: usize) -> (StressResult, StressResult) {
+    let seq = stress_upfront(cfg, 1);
+    let par = stress_upfront(cfg, threads);
+    assert_eq!(
+        seq.checksum, par.checksum,
+        "parallel completion stream diverged from sequential"
+    );
+    assert_eq!(seq.events, par.events, "parallel event count diverged");
+    assert_eq!(seq.completions, par.completions);
+    (seq, par)
+}
+
+/// Worker-shard count the report's `stress_parallel` entry uses: all
+/// hardware threads, at least 2 (so the parallel path is exercised even
+/// on a single-core CI container), at most one shard per home.
+pub fn report_threads(homes: usize) -> usize {
+    hw_threads().clamp(2, homes.max(2))
+}
+
+/// The host's available hardware parallelism (recorded in the report so
+/// single-core container numbers are interpretable).
+pub fn hw_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Wall-clock timings of the per-figure regenerators (quick trial counts:
@@ -289,21 +381,9 @@ fn best_of_two(cfg: &StressConfig) -> StressResult {
     }
 }
 
-fn push_stress_section(out: &mut String, cfg: &StressConfig, r: &StressResult) {
-    out.push_str(&format!("    \"caches\": {},\n", cfg.caches));
-    out.push_str(&format!("    \"homes\": {},\n", cfg.homes));
-    out.push_str(&format!("    \"requests\": {},\n", cfg.requests));
-    out.push_str(&format!("    \"events\": {},\n", r.events));
-    out.push_str(&format!("    \"completions\": {},\n", r.completions));
-    out.push_str(&format!("    \"wall_secs\": {:.4},\n", r.wall_secs));
-    out.push_str(&format!(
-        "    \"events_per_sec\": {:.0},\n",
-        r.events_per_sec()
-    ));
-    out.push_str(&format!("    \"ns_per_event\": {:.1},\n", r.ns_per_event()));
-    out.push_str(&format!("    \"checksum\": \"{:#018x}\",\n", r.checksum));
-    // Per-home directory counters: with N>1 the spread across shards
-    // makes interleave imbalance visible at a glance.
+// Per-home directory counters: with N>1 the spread across shards
+// makes interleave imbalance visible at a glance.
+fn push_per_home(out: &mut String, r: &StressResult) {
     out.push_str("    \"per_home\": [\n");
     for (h, s) in r.per_home.iter().enumerate() {
         out.push_str(&format!(
@@ -318,6 +398,73 @@ fn push_stress_section(out: &mut String, cfg: &StressConfig, r: &StressResult) {
         ));
     }
     out.push_str("    ]\n");
+}
+
+fn push_stress_section(out: &mut String, cfg: &StressConfig, r: &StressResult) {
+    out.push_str(&format!("    \"caches\": {},\n", cfg.caches));
+    out.push_str(&format!("    \"homes\": {},\n", cfg.homes));
+    out.push_str(&format!("    \"requests\": {},\n", cfg.requests));
+    out.push_str(&format!("    \"events\": {},\n", r.events));
+    out.push_str(&format!("    \"completions\": {},\n", r.completions));
+    out.push_str(&format!("    \"wall_secs\": {:.4},\n", r.wall_secs));
+    out.push_str(&format!(
+        "    \"events_per_sec\": {:.0},\n",
+        r.events_per_sec()
+    ));
+    out.push_str(&format!("    \"ns_per_event\": {:.1},\n", r.ns_per_event()));
+    out.push_str(&format!("    \"checksum\": \"{:#018x}\",\n", r.checksum));
+    push_per_home(out, r);
+    out.push_str("  },\n");
+}
+
+/// The `stress_parallel` report section: the upfront-batch multihome
+/// workload run on worker shards, with its sequential reference run and
+/// both speedup ratios (`vs_sequential`: same workload, threads as the
+/// only variable; `vs_multihome`: against the wave-driven `multihome`
+/// entry, the ROADMAP's baseline-to-beat).
+fn push_parallel_section(
+    out: &mut String,
+    cfg: &StressConfig,
+    threads: usize,
+    seq: &StressResult,
+    par: &StressResult,
+    multihome_events_per_sec: f64,
+) {
+    out.push_str(&format!("    \"caches\": {},\n", cfg.caches));
+    out.push_str(&format!("    \"homes\": {},\n", cfg.homes));
+    out.push_str(&format!("    \"threads\": {threads},\n"));
+    out.push_str(&format!("    \"hw_threads\": {},\n", hw_threads()));
+    out.push_str(&format!("    \"requests\": {},\n", cfg.requests));
+    out.push_str(&format!("    \"events\": {},\n", par.events));
+    out.push_str(&format!("    \"completions\": {},\n", par.completions));
+    out.push_str(&format!("    \"wall_secs\": {:.4},\n", par.wall_secs));
+    out.push_str(&format!(
+        "    \"events_per_sec\": {:.0},\n",
+        par.events_per_sec()
+    ));
+    out.push_str(&format!(
+        "    \"ns_per_event\": {:.1},\n",
+        par.ns_per_event()
+    ));
+    out.push_str(&format!("    \"checksum\": \"{:#018x}\",\n", par.checksum));
+    // `stress_parallel_pair` asserted checksum/event equality, so this
+    // field is a recorded fact, not an aspiration.
+    out.push_str("    \"matches_sequential_stream\": true,\n");
+    out.push_str(&format!(
+        "    \"sequential\": {{\"wall_secs\": {:.4}, \"events_per_sec\": {:.0}, \"ns_per_event\": {:.1}}},\n",
+        seq.wall_secs,
+        seq.events_per_sec(),
+        seq.ns_per_event()
+    ));
+    out.push_str(&format!(
+        "    \"speedup_vs_sequential\": {:.2},\n",
+        par.events_per_sec() / seq.events_per_sec()
+    ));
+    out.push_str(&format!(
+        "    \"speedup_vs_multihome\": {:.2},\n",
+        par.events_per_sec() / multihome_events_per_sec
+    ));
+    push_per_home(out, par);
     out.push_str("  },\n");
 }
 
@@ -330,9 +477,11 @@ pub fn report_json(quick: bool) -> String {
     };
     let r = best_of_two(&cfg);
     let mh = best_of_two(&mh_cfg);
+    let threads = report_threads(mh_cfg.homes);
+    let (p_seq, p_par) = stress_parallel_pair(&mh_cfg, threads);
     let figs = figure_timings(quick);
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"simcxl-hotpath/v2\",\n");
+    out.push_str("  \"schema\": \"simcxl-hotpath/v3\",\n");
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
@@ -341,6 +490,15 @@ pub fn report_json(quick: bool) -> String {
     push_stress_section(&mut out, &cfg, &r);
     out.push_str("  \"multihome\": {\n");
     push_stress_section(&mut out, &mh_cfg, &mh);
+    out.push_str("  \"stress_parallel\": {\n");
+    push_parallel_section(
+        &mut out,
+        &mh_cfg,
+        threads,
+        &p_seq,
+        &p_par,
+        mh.events_per_sec(),
+    );
     out.push_str("  \"figures\": [\n");
     for (i, (name, secs)) in figs.iter().enumerate() {
         out.push_str(&format!(
@@ -433,10 +591,13 @@ mod tests {
     #[test]
     fn report_json_is_well_formed() {
         let json = report_json(true);
-        assert!(json.contains("\"schema\": \"simcxl-hotpath/v2\""));
+        assert!(json.contains("\"schema\": \"simcxl-hotpath/v3\""));
         assert!(json.contains("\"events_per_sec\""));
         assert!(json.contains("\"figures\""));
         assert!(json.contains("\"multihome\""));
+        assert!(json.contains("\"stress_parallel\""));
+        assert!(json.contains("\"matches_sequential_stream\": true"));
+        assert!(json.contains("\"speedup_vs_multihome\""));
         assert!(json.contains("\"per_home\""));
         // Crude balance check in lieu of a JSON parser.
         assert_eq!(
@@ -444,5 +605,32 @@ mod tests {
             json.matches('}').count(),
             "unbalanced braces in report"
         );
+    }
+
+    /// The parallel executor must reproduce the sequential stream for
+    /// the report's own workload; `stress_parallel_pair` panics on any
+    /// divergence.
+    #[test]
+    fn parallel_stress_reproduces_sequential_stream() {
+        let cfg = StressConfig {
+            requests: 4_000,
+            ..StressConfig::multihome_quick()
+        };
+        let (seq, par) = stress_parallel_pair(&cfg, 4);
+        assert_eq!(seq.checksum, par.checksum);
+        assert_eq!(seq.per_home, par.per_home);
+    }
+
+    /// Pins the quick multihome upfront-batch stream under `threads > 1`
+    /// — the committed regression anchor for the parallel engine
+    /// (recorded from the sequential engine, which the full-size
+    /// `BENCH_hotpath.json` entry also validates against on every
+    /// refresh).
+    #[test]
+    fn parallel_quick_stress_checksum_pinned() {
+        let r = stress_upfront(&StressConfig::multihome_quick(), 2);
+        assert_eq!(r.checksum, 0x0c896c524bd5265a, "completion stream diverged");
+        assert_eq!(r.events, 130_774);
+        assert_eq!(r.completions, 20_000);
     }
 }

@@ -3,18 +3,18 @@
 
 use crate::array::LineState;
 use crate::cache::{CacheAgent, CacheStats, Outbox};
-use crate::config::{CacheConfig, EngineConfig, HomeConfig};
+use crate::config::{CacheConfig, EngineConfig, HomeConfig, ParallelConfig};
 use crate::funcmem::FuncMem;
 use crate::home::{DirEntry, HomeAgent, HomeOutbox, HomeStats};
 use crate::msg::{AgentId, HitLevel, MemOp, Msg, MsgKind, ReqId};
 use crate::topology::{HomeId, Topology};
-use sim_core::{EventQueue, Link, SimRng, Tick};
+use sim_core::{EventQueue, Link, LinkConfig, SimRng, Tick};
 use simcxl_mem::{AddrRange, DramConfig, DramKind, MemoryInterface, PhysAddr};
 
 pub use crate::msg::Completion;
 
 #[derive(Debug)]
-enum Ev {
+pub(crate) enum Ev {
     /// An external request reaches its cache agent.
     Issue { req: ReqId },
     /// A protocol message arrives at `dst`. `level` piggybacks the hit
@@ -29,10 +29,10 @@ enum Ev {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct Request {
-    agent: AgentId,
-    op: MemOp,
-    addr: PhysAddr,
+pub(crate) struct Request {
+    pub(crate) agent: AgentId,
+    pub(crate) op: MemOp,
+    pub(crate) addr: PhysAddr,
     issued: Tick,
 }
 
@@ -90,6 +90,7 @@ pub struct ProtocolEngineBuilder {
     config: EngineConfig,
     memory: Option<MemoryInterface>,
     jitter_ns: Option<(u64, f64)>,
+    parallel: Option<ParallelConfig>,
 }
 
 impl ProtocolEngineBuilder {
@@ -128,6 +129,26 @@ impl ProtocolEngineBuilder {
     /// run-to-run spread visible in the paper's box plots.
     pub fn jitter_ns(mut self, seed: u64, stddev_ns: f64) -> Self {
         self.jitter_ns = Some((seed, stddev_ns));
+        self
+    }
+
+    /// Enables parallel per-shard execution on `threads` worker shards
+    /// (see [`ParallelConfig`]; this uses its default engagement
+    /// threshold). `threads <= 1` leaves the engine sequential.
+    ///
+    /// The parallel executor is *stream-preserving*: any run produces
+    /// the byte-identical completion stream the sequential engine
+    /// produces, at every thread count — see the
+    /// [`parallel`](crate::parallel) module docs for how.
+    pub fn parallel(mut self, threads: usize) -> Self {
+        self.parallel = Some(ParallelConfig::new(threads));
+        self
+    }
+
+    /// Enables parallel execution with full control over the engagement
+    /// policy (thread count and minimum queue depth).
+    pub fn parallel_config(mut self, cfg: ParallelConfig) -> Self {
+        self.parallel = Some(cfg);
         self
     }
 
@@ -174,6 +195,7 @@ impl ProtocolEngineBuilder {
             .collect();
         ProtocolEngine {
             queue: EventQueue::new(),
+            next_seq: 0,
             now: Tick::ZERO,
             topology,
             homes,
@@ -187,6 +209,8 @@ impl ProtocolEngineBuilder {
             jitter: self.jitter_ns.map(|(seed, sd)| (SimRng::new(seed), sd)),
             outbox: Outbox::default(),
             home_outbox: HomeOutbox::default(),
+            parallel: self.parallel,
+            parallel_runs: 0,
         }
     }
 }
@@ -197,27 +221,35 @@ impl ProtocolEngineBuilder {
 /// end-to-end example.
 #[derive(Debug)]
 pub struct ProtocolEngine {
-    queue: EventQueue<Ev>,
-    now: Tick,
+    pub(crate) queue: EventQueue<Ev>,
+    /// Global tie-break counter: every scheduled event gets the next
+    /// value, whether it is pushed into the sequential queue or routed
+    /// through the parallel executor's per-shard queues. One counter for
+    /// both paths is what makes them produce identical streams.
+    pub(crate) next_seq: u64,
+    pub(crate) now: Tick,
     /// Which home owns which address; routes every request, snoop
     /// response, writeback and replay.
     topology: Topology,
     /// One directory shard per home in the topology; `homes[h.index()]`
     /// owns exactly the lines with `topology.home_for(addr) == h`.
-    homes: Vec<HomeAgent>,
+    pub(crate) homes: Vec<HomeAgent>,
     mem: MemAgent,
-    caches: Vec<CacheAgent>,
+    pub(crate) caches: Vec<CacheAgent>,
     /// Outstanding-request slab, indexed by the slot half of [`ReqId`].
     /// Completed slots go on the free list, so long runs stay bounded by
     /// the peak number of *concurrent* requests, not the total issued.
     requests: Vec<ReqSlot>,
     free_slots: Vec<u32>,
-    events: u64,
+    pub(crate) events: u64,
     func: FuncMem,
-    completions: Vec<Completion>,
+    pub(crate) completions: Vec<Completion>,
     jitter: Option<(SimRng, f64)>,
     outbox: Outbox,
     home_outbox: HomeOutbox,
+    pub(crate) parallel: Option<ParallelConfig>,
+    /// How many runs actually engaged the parallel executor.
+    pub(crate) parallel_runs: u64,
 }
 
 impl ProtocolEngine {
@@ -359,16 +391,32 @@ impl ProtocolEngine {
             addr,
             issued: at,
         });
-        self.queue.push(at + delay, Ev::Issue { req });
+        self.push_ev(at + delay, Ev::Issue { req });
         req
     }
 
     /// Looks up a live request; panics if the id was never issued or has
     /// already completed (a stale generation).
-    fn request(&self, req: ReqId) -> Request {
+    pub(crate) fn request(&self, req: ReqId) -> Request {
         let slot = &self.requests[req.slot()];
         assert_eq!(slot.gen, req.gen(), "stale request id {req}");
         slot.req.expect("request slot vacant")
+    }
+
+    /// Schedules an event under the next global tie-break sequence
+    /// number (the only way events enter the sequential queue).
+    pub(crate) fn push_ev(&mut self, tick: Tick, ev: Ev) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push_at_seq(tick, seq, ev);
+    }
+
+    /// Claims the next global sequence number for an event the parallel
+    /// executor routes itself.
+    pub(crate) fn take_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
     }
 
     /// Time of the next pending event.
@@ -409,7 +457,17 @@ impl ProtocolEngine {
     }
 
     /// Runs all events up to and including `t`; returns completions.
+    ///
+    /// When a [`ParallelConfig`] is set (builder
+    /// [`parallel`](ProtocolEngineBuilder::parallel) /
+    /// [`set_parallel`](Self::set_parallel)) and the pending batch is
+    /// large enough, the run executes on per-shard worker threads; the
+    /// returned completion stream is byte-identical either way (see the
+    /// [`parallel`](crate::parallel) module).
     pub fn run_until(&mut self, t: Tick) -> Vec<Completion> {
+        if let Some(shards) = self.parallel_shards(t) {
+            return self.run_until_parallel(t, shards);
+        }
         // `pop_before` fuses the old peek-then-pop pair into a single
         // queue traversal — the dispatch loop is the simulator's hottest
         // path.
@@ -423,6 +481,74 @@ impl ProtocolEngine {
             self.now = t;
         }
         std::mem::take(&mut self.completions)
+    }
+
+    /// Enables (`threads >= 2`) or disables (`None` / `threads <= 1`)
+    /// the parallel executor on an already-built engine.
+    pub fn set_parallel(&mut self, cfg: Option<ParallelConfig>) {
+        self.parallel = cfg;
+    }
+
+    /// How many runs engaged the parallel executor so far (perf
+    /// accounting; the streams are identical either way).
+    pub fn parallel_runs(&self) -> u64 {
+        self.parallel_runs
+    }
+
+    /// Shard count to engage for a run bounded at `t`, or `None` to
+    /// stay on the sequential path. See [`ParallelConfig`] for the
+    /// policy.
+    fn parallel_shards(&self, t: Tick) -> Option<usize> {
+        let cfg = self.parallel?;
+        if cfg.threads < 2 || self.queue.len() < cfg.min_queue.max(1) {
+            return None;
+        }
+        // A bounded run with nothing due by `t` would pay the whole
+        // distribute/spawn/reassemble cycle to execute zero events.
+        if self.queue.peek_tick().is_none_or(|next| next > t) {
+            return None;
+        }
+        if self.parallel_lookahead() == Tick::ZERO {
+            return None;
+        }
+        // More shards than agents would only add idle workers.
+        Some(cfg.threads.min(self.homes.len().max(self.caches.len()))).filter(|&n| n >= 2)
+    }
+
+    /// The engine's cross-shard lookahead: a lower bound on the delay
+    /// between dispatching any event and the earliest event it can
+    /// schedule on *another* shard (or that memory can schedule on a
+    /// shard). The parallel executor's barrier window must not exceed
+    /// this, so that everything produced inside a window lands in a
+    /// later one. Self-shard paths (snoop deferrals on locked lines) are
+    /// exempt: the shard replays those locally within the window.
+    ///
+    /// `Tick::ZERO` (possible only with zero-latency link configs) means
+    /// no window exists and the engine stays sequential.
+    pub(crate) fn parallel_lookahead(&self) -> Tick {
+        let floor = |l: &LinkConfig| l.latency + l.serialize_time(16);
+        let mut w = Tick::MAX;
+        // cache -> home: WbData/evictions send with no added latency, so
+        // only the link itself bounds the hop.
+        for c in &self.caches {
+            w = w.min(floor(&c.config().link));
+        }
+        // home -> cache: every grant/snoop pays at least the smaller of
+        // the lookup/refill pipeline latencies plus the response link.
+        for h in &self.homes {
+            w = w.min(h.reply_floor(floor));
+        }
+        // memory -> home: replies pay the controller front latency plus
+        // the home's memory port link. (home -> memory needs no bound:
+        // the memory agent is coordinator-owned.)
+        for (link, front) in &self.mem.ports {
+            w = w.min(*front + floor(link.config()));
+        }
+        if w == Tick::MAX {
+            Tick::ZERO
+        } else {
+            w
+        }
     }
 
     fn dispatch(&mut self, ev: Ev) {
@@ -451,46 +577,53 @@ impl ProtocolEngine {
                     self.drain_cache_outbox(out);
                 }
             }
-            Ev::Complete { req, level } => {
-                let slot = &mut self.requests[req.slot()];
-                assert_eq!(slot.gen, req.gen(), "completion for stale request {req}");
-                let r = slot.req.take().expect("completion for unknown request");
-                // Recycle the slot under the next generation — unless the
-                // generation counter would wrap, which would reissue an
-                // old ReqId; such a slot is retired instead (the slab
-                // grows by one and the id-uniqueness guarantee holds).
-                if let Some(gen) = slot.gen.checked_add(1) {
-                    slot.gen = gen;
-                    self.free_slots.push(req.slot() as u32);
-                }
-                let value = match r.op {
-                    MemOp::Load | MemOp::Prefetch => self.func.read_u64(r.addr),
-                    MemOp::Store { value } => {
-                        self.func.write_u64(r.addr, value);
-                        value
-                    }
-                    MemOp::NcPush { value } => {
-                        self.func.write_u64(r.addr, value);
-                        value
-                    }
-                    MemOp::Rmw {
-                        kind,
-                        operand,
-                        operand2,
-                    } => self.func.rmw(r.addr, kind, operand, operand2),
-                };
-                self.completions.push(Completion {
-                    req,
-                    agent: r.agent,
-                    addr: r.addr,
-                    op: r.op,
-                    issued: r.issued,
-                    done: self.now,
-                    level,
-                    value,
-                });
-            }
+            Ev::Complete { req, level } => self.apply_complete(self.now, req, level),
         }
+    }
+
+    /// Retires a request at time `now`: recycles its slab slot, applies
+    /// the operation to functional memory and appends the
+    /// [`Completion`]. Shared by the sequential dispatcher and the
+    /// parallel coordinator (completions are merge-ordered there, which
+    /// is what keeps the reported stream identical).
+    pub(crate) fn apply_complete(&mut self, now: Tick, req: ReqId, level: HitLevel) {
+        let slot = &mut self.requests[req.slot()];
+        assert_eq!(slot.gen, req.gen(), "completion for stale request {req}");
+        let r = slot.req.take().expect("completion for unknown request");
+        // Recycle the slot under the next generation — unless the
+        // generation counter would wrap, which would reissue an
+        // old ReqId; such a slot is retired instead (the slab
+        // grows by one and the id-uniqueness guarantee holds).
+        if let Some(gen) = slot.gen.checked_add(1) {
+            slot.gen = gen;
+            self.free_slots.push(req.slot() as u32);
+        }
+        let value = match r.op {
+            MemOp::Load | MemOp::Prefetch => self.func.read_u64(r.addr),
+            MemOp::Store { value } => {
+                self.func.write_u64(r.addr, value);
+                value
+            }
+            MemOp::NcPush { value } => {
+                self.func.write_u64(r.addr, value);
+                value
+            }
+            MemOp::Rmw {
+                kind,
+                operand,
+                operand2,
+            } => self.func.rmw(r.addr, kind, operand, operand2),
+        };
+        self.completions.push(Completion {
+            req,
+            agent: r.agent,
+            addr: r.addr,
+            op: r.op,
+            issued: r.issued,
+            done: now,
+            level,
+            value,
+        });
     }
 
     fn drain_cache_outbox(&mut self, mut out: Outbox) {
@@ -500,7 +633,7 @@ impl ProtocolEngine {
             if dst == AgentId::HOME {
                 msg.home = self.topology.home_for(msg.addr);
             }
-            self.queue.push(
+            self.push_ev(
                 tick,
                 Ev::Deliver {
                     dst,
@@ -510,10 +643,10 @@ impl ProtocolEngine {
             );
         }
         for (tick, req, level) in out.completions.drain(..) {
-            self.queue.push(tick, Ev::Complete { req, level });
+            self.push_ev(tick, Ev::Complete { req, level });
         }
         for (tick, dst, msg) in out.deferred.drain(..) {
-            self.queue.push(
+            self.push_ev(
                 tick,
                 Ev::Deliver {
                     dst,
@@ -527,19 +660,37 @@ impl ProtocolEngine {
 
     fn drain_home_outbox(&mut self, mut out: HomeOutbox) {
         for (tick, dst, msg, level) in out.msgs.drain(..) {
-            self.queue.push(tick, Ev::Deliver { dst, msg, level });
+            self.push_ev(tick, Ev::Deliver { dst, msg, level });
         }
         self.home_outbox = out;
     }
 
     fn handle_mem(&mut self, msg: Msg) {
+        if let Some((arrival, reply)) = self.handle_mem_at(msg, self.now) {
+            self.push_ev(
+                arrival,
+                Ev::Deliver {
+                    dst: AgentId::HOME,
+                    msg: reply,
+                    level: None,
+                },
+            );
+        }
+    }
+
+    /// Services a memory-agent message at time `now`; returns the
+    /// `MemData` reply (arrival tick and message) for reads, `None` for
+    /// posted writes. Shared by the sequential dispatcher (which pushes
+    /// the reply) and the parallel coordinator (which routes it to the
+    /// destination home's shard).
+    pub(crate) fn handle_mem_at(&mut self, msg: Msg, now: Tick) -> Option<(Tick, Msg)> {
         let extra = self.mem.extra_for(msg.addr);
         // `msg.home` names the requesting home; replies return through
         // that home's memory port.
         let (_, front) = self.mem.ports[msg.home.index()];
         match msg.kind {
             MsgKind::MemRd => {
-                let start = self.now + front + extra;
+                let start = now + front + extra;
                 let done = self
                     .mem
                     .mi
@@ -547,26 +698,23 @@ impl ProtocolEngine {
                     .unwrap_or_else(|| panic!("no memory claims {}", msg.addr));
                 let link = &mut self.mem.ports[msg.home.index()].0;
                 let arrival = link.send(done + extra, MsgKind::MemData.bytes());
-                self.queue.push(
+                Some((
                     arrival,
-                    Ev::Deliver {
-                        dst: AgentId::HOME,
-                        msg: Msg {
-                            kind: MsgKind::MemData,
-                            addr: msg.addr,
-                            from: AgentId::MEMORY,
-                            home: msg.home,
-                        },
-                        level: None,
+                    Msg {
+                        kind: MsgKind::MemData,
+                        addr: msg.addr,
+                        from: AgentId::MEMORY,
+                        home: msg.home,
                     },
-                );
+                ))
             }
             MsgKind::MemWr => {
-                let start = self.now + front + extra;
+                let start = now + front + extra;
                 let _ = self
                     .mem
                     .mi
                     .write(start, msg.addr, simcxl_mem::CACHELINE_BYTES);
+                None
             }
             other => panic!("memory agent received {:?}", other),
         }

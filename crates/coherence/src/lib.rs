@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! Ruby-style directory-MESI coherence protocol engine (SimCXL §IV-B2).
 //!
 //! The paper extends gem5's Ruby subsystem with a "directory-based
@@ -52,9 +53,10 @@ pub mod funcmem;
 pub mod hierarchy;
 pub mod home;
 pub mod msg;
+pub mod parallel;
 pub mod topology;
 
-pub use config::{CacheConfig, EngineConfig, HomeConfig};
+pub use config::{CacheConfig, EngineConfig, HomeConfig, ParallelConfig};
 pub use engine::{Completion, ProtocolEngine, ProtocolEngineBuilder};
 pub use funcmem::{AtomicKind, FuncMem};
 pub use msg::{AgentId, HitLevel, MemOp, ReqId};

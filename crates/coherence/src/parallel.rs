@@ -1,0 +1,866 @@
+//! Parallel per-shard execution of the protocol engine.
+//!
+//! This module turns the logical sharding of the multi-home topology
+//! (each [`HomeAgent`](crate::home::HomeAgent) owns a disjoint slice of
+//! the address space) into real parallelism: home agents and peer caches
+//! are distributed round-robin over *shards*, each shard runs on its own
+//! thread with its own [`sim_core::EventQueue`], and simulated time
+//! advances in barrier-synchronized *tick windows*. The defining
+//! property is that it is **stream-preserving**: a parallel run produces
+//! the byte-identical completion stream — same completions, same order,
+//! same timestamps, same functional-memory values — as the sequential
+//! engine, at every shard count. `BENCH_hotpath.json`'s checksums double
+//! as the canary for this.
+//!
+//! # How determinism survives the threads
+//!
+//! The sequential engine dispatches events in `(tick, seq)` order, where
+//! `seq` is a global counter assigned at push time. Everything
+//! order-sensitive (FIFO tie-breaks, replay queues, the completion
+//! stream itself) derives from that order, so the parallel executor
+//! reproduces it exactly rather than approximating it:
+//!
+//! 1. **Ownership.** Every event has exactly one owner: cache events
+//!    (issues, grants, snoops) belong to the shard owning that cache;
+//!    home events belong to the shard owning that home; memory-agent
+//!    events and request completions are *coordinator-owned* (they touch
+//!    shared state — the DRAM model, the request slab, functional
+//!    memory, the completion stream — and are executed serially at the
+//!    merge point, in stream order, which costs little because they are
+//!    leaf events).
+//! 2. **Windows bounded by lookahead.** A window `[t0, t0+W)` is safe to
+//!    process in parallel because `W` never exceeds the engine's
+//!    *lookahead* — the minimum latency of any cross-shard hop
+//!    (cache→home request links, home→cache response pipelines+links,
+//!    memory→home reply ports). Nothing dispatched inside a window can
+//!    schedule work for *another* shard inside the same window, so
+//!    same-window events on different shards are causally independent.
+//!    The one exempt path — a snoop deferred by a locked line, which
+//!    redelivers to the *same* cache after an arbitrarily short lock
+//!    tail — stays inside its shard: the shard replays it locally, in
+//!    order, through a side-heap.
+//! 3. **Sequence replay at the barrier.** Shards do not assign sequence
+//!    numbers; they record, per processed event, the messages it emitted
+//!    (in emission order). At the barrier the coordinator walks all
+//!    processed events of the window in global `(tick, seq)` order —
+//!    a k-way merge of the per-shard traces plus the coordinator's own
+//!    events — and assigns each recorded child the next global sequence
+//!    number, exactly as the sequential engine would have at push time.
+//!    Children are then routed to their owner's queue (or executed
+//!    inline, for coordinator events) carrying their final sequence
+//!    numbers, so every queue pops its slice of the stream in the
+//!    sequential order.
+//!
+//! The merge also doubles as the safety net: a child that lands inside
+//! the current window on a *different* shard would violate the lookahead
+//! contract, and the walk panics rather than silently diverging (the
+//! window width is derived from the engine's configuration precisely so
+//! this cannot happen).
+//!
+//! # When it engages
+//!
+//! [`ParallelConfig`](crate::config::ParallelConfig) gates engagement
+//! per `run_until` call (thread count, pending-event threshold, nonzero
+//! lookahead). Because parallel and sequential runs are
+//! indistinguishable in simulation results, the engine switches freely
+//! between them; batch-style drivers (issue many requests, then drain to
+//! quiescence) amortize the per-run thread spawn and barrier costs best.
+
+use crate::cache::Outbox;
+use crate::engine::{Ev, ProtocolEngine};
+use crate::home::HomeOutbox;
+use crate::msg::{AgentId, HitLevel, MemOp, Msg, ReqId};
+use crate::topology::Topology;
+use crate::Completion;
+use sim_core::{EventQueue, PhaseBarrier, Tick};
+use simcxl_mem::PhysAddr;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// A routed-but-undelivered event: `(tick, seq, event)` entries waiting
+/// in a shard's mailbox until its next phase begins.
+type Mailbox = Mutex<Vec<(Tick, u64, ShardEv)>>;
+
+/// An event owned by one shard: everything that touches a cache or home
+/// agent. Issues carry their request data inline so shards never read
+/// the (coordinator-owned) request slab.
+#[derive(Debug, Clone, Copy)]
+enum ShardEv {
+    /// An external request reaches its cache agent.
+    Issue {
+        req: ReqId,
+        agent: AgentId,
+        op: MemOp,
+        addr: PhysAddr,
+    },
+    /// A protocol message arrives at a cache or home agent.
+    Deliver {
+        dst: AgentId,
+        msg: Msg,
+        level: Option<HitLevel>,
+    },
+}
+
+/// A coordinator-owned event: memory-agent traffic and completions.
+#[derive(Debug, Clone, Copy)]
+enum CoordEv {
+    /// A `MemRd`/`MemWr` arrives at the memory agent.
+    Mem { msg: Msg },
+    /// A request completes (request slab + functional memory + stream).
+    Complete { req: ReqId, level: HitLevel },
+}
+
+/// One message emitted while processing an event, recorded in exact
+/// emission order so the merge can replay sequence assignment.
+#[derive(Debug, Clone, Copy)]
+enum Child {
+    Deliver {
+        dst: AgentId,
+        msg: Msg,
+        level: Option<HitLevel>,
+    },
+    Complete {
+        req: ReqId,
+        level: HitLevel,
+    },
+}
+
+/// Where an event with destination `dst` executes: `Some(shard)` for
+/// cache/home events, `None` for coordinator-owned memory events.
+fn dest_shard(dst: AgentId, home: crate::topology::HomeId, nshards: usize) -> Option<usize> {
+    if dst == AgentId::HOME {
+        Some(home.index() % nshards)
+    } else if dst == AgentId::MEMORY {
+        None
+    } else {
+        Some((dst.index() - 2) % nshards)
+    }
+}
+
+/// How a processed event entered the shard: popped from its queue (with
+/// its final sequence number) or replayed from a same-window self-child
+/// (sequence number assigned later, during this window's merge).
+#[derive(Debug, Clone, Copy)]
+enum Origin {
+    Queue { seq: u64 },
+    SelfChild { child: u32 },
+}
+
+/// One processed event in a shard's window trace; its children occupy
+/// the next `children` slots of the shard's flat child buffer.
+#[derive(Debug, Clone, Copy)]
+struct ParentRec {
+    tick: Tick,
+    origin: Origin,
+    children: u32,
+}
+
+/// A shard: its agents, its event queue, and its per-window trace.
+struct Shard {
+    index: usize,
+    nshards: usize,
+    queue: EventQueue<ShardEv>,
+    /// Caches owned by this shard: global cache `i` lives here iff
+    /// `i % nshards == index`, at local position `i / nshards`.
+    caches: Vec<crate::cache::CacheAgent>,
+    /// Homes owned by this shard, same round-robin mapping.
+    homes: Vec<crate::home::HomeAgent>,
+    outbox: Outbox,
+    home_outbox: HomeOutbox,
+    /// Window trace: processed events in processing order…
+    parents: Vec<ParentRec>,
+    /// …and every message they emitted, flat, in emission order.
+    children: Vec<(Tick, Child)>,
+    /// Sequence numbers the merge assigns to `children` (parallel vec).
+    children_seqs: Vec<u64>,
+    /// Same-window redeliveries to this shard (deferred snoops), keyed
+    /// `(tick, child index)`; the child index is monotone in discovery
+    /// order, which equals the order the merge assigns their seqs.
+    self_heap: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Earliest queued tick after the last phase (for window planning).
+    next_tick: Option<Tick>,
+}
+
+impl Shard {
+    fn new(index: usize, nshards: usize) -> Self {
+        Shard {
+            index,
+            nshards,
+            queue: EventQueue::new(),
+            caches: Vec::new(),
+            homes: Vec::new(),
+            outbox: Outbox::default(),
+            home_outbox: HomeOutbox::default(),
+            parents: Vec::new(),
+            children: Vec::new(),
+            children_seqs: Vec::new(),
+            self_heap: BinaryHeap::new(),
+            next_tick: None,
+        }
+    }
+
+    /// Processes every event this shard owns in `[.., window_end]`, in
+    /// exactly the order the sequential engine would have: queued events
+    /// by `(tick, seq)`, interleaved with same-window self-redeliveries
+    /// (whose eventual seqs are larger than any queued seq, so at equal
+    /// ticks queued events go first and self-children follow in
+    /// discovery order).
+    fn run_phase(
+        &mut self,
+        topo: &Topology,
+        window_end: Tick,
+        mailbox: &mut Vec<(Tick, u64, ShardEv)>,
+    ) {
+        self.parents.clear();
+        self.children.clear();
+        debug_assert!(self.self_heap.is_empty());
+        for (t, seq, ev) in mailbox.drain(..) {
+            self.queue.push_at_seq(t, seq, ev);
+        }
+        let mut held: Option<(Tick, u64, ShardEv)> = None;
+        loop {
+            if held.is_none() {
+                held = self.queue.pop_seq_before(window_end);
+            }
+            let take_self = match (held.as_ref(), self.self_heap.peek()) {
+                (None, None) => break,
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (Some((ht, _, _)), Some(Reverse((st, _)))) => *st < ht.as_ps(),
+            };
+            let (tick, origin, ev) = if take_self {
+                let Reverse((tps, idx)) = self.self_heap.pop().expect("peeked");
+                let ev = match self.children[idx as usize].1 {
+                    Child::Deliver { dst, msg, level } => ShardEv::Deliver { dst, msg, level },
+                    Child::Complete { .. } => unreachable!("completions are coordinator-owned"),
+                };
+                (Tick::from_ps(tps), Origin::SelfChild { child: idx }, ev)
+            } else {
+                let (t, seq, ev) = held.take().expect("checked");
+                (t, Origin::Queue { seq }, ev)
+            };
+            let first_child = self.children.len();
+            self.process(ev, tick, topo);
+            let children = (self.children.len() - first_child) as u32;
+            for idx in first_child..self.children.len() {
+                let (ct, c) = self.children[idx];
+                if ct <= window_end {
+                    if let Child::Deliver { dst, msg, .. } = c {
+                        if dest_shard(dst, msg.home, self.nshards) == Some(self.index) {
+                            self.self_heap.push(Reverse((ct.as_ps(), idx as u32)));
+                        }
+                    }
+                }
+            }
+            self.parents.push(ParentRec {
+                tick,
+                origin,
+                children,
+            });
+        }
+        self.next_tick = self.queue.peek_tick();
+    }
+
+    /// Dispatches one event to the owning agent, recording its emissions.
+    fn process(&mut self, ev: ShardEv, now: Tick, topo: &Topology) {
+        match ev {
+            ShardEv::Issue {
+                req,
+                agent,
+                op,
+                addr,
+            } => {
+                let local = (agent.index() - 2) / self.nshards;
+                let mut out = std::mem::take(&mut self.outbox);
+                out.clear();
+                self.caches[local].handle_request(req, op, addr, now, &mut out);
+                self.record_cache_outbox(out, topo);
+            }
+            ShardEv::Deliver { dst, msg, level } => {
+                if dst == AgentId::HOME {
+                    let local = msg.home.index() / self.nshards;
+                    let mut out = std::mem::take(&mut self.home_outbox);
+                    out.msgs.clear();
+                    self.homes[local].handle_msg(msg, now, &mut out);
+                    self.record_home_outbox(out);
+                } else {
+                    let local = (dst.index() - 2) / self.nshards;
+                    let mut out = std::mem::take(&mut self.outbox);
+                    out.clear();
+                    self.caches[local].handle_msg(msg, level, now, &mut out);
+                    self.record_cache_outbox(out, topo);
+                }
+            }
+        }
+    }
+
+    /// Records a cache outbox in the exact order the sequential
+    /// `drain_cache_outbox` pushes it: messages, completions, deferrals.
+    fn record_cache_outbox(&mut self, mut out: Outbox, topo: &Topology) {
+        for (tick, dst, mut msg) in out.msgs.drain(..) {
+            if dst == AgentId::HOME {
+                msg.home = topo.home_for(msg.addr);
+            }
+            self.children.push((
+                tick,
+                Child::Deliver {
+                    dst,
+                    msg,
+                    level: None,
+                },
+            ));
+        }
+        for (tick, req, level) in out.completions.drain(..) {
+            self.children.push((tick, Child::Complete { req, level }));
+        }
+        for (tick, dst, msg) in out.deferred.drain(..) {
+            self.children.push((
+                tick,
+                Child::Deliver {
+                    dst,
+                    msg,
+                    level: None,
+                },
+            ));
+        }
+        self.outbox = out;
+    }
+
+    fn record_home_outbox(&mut self, mut out: HomeOutbox) {
+        for (tick, dst, msg, level) in out.msgs.drain(..) {
+            self.children
+                .push((tick, Child::Deliver { dst, msg, level }));
+        }
+        self.home_outbox = out;
+    }
+}
+
+/// Coordinator-side merge scratch, reused across windows.
+struct MergeState<'a> {
+    nshards: usize,
+    window_end: Tick,
+    mailboxes: &'a [Mailbox],
+    /// Earliest undelivered mailbox tick per shard (coordinator-side).
+    mb_min: &'a mut [u64],
+    coord_q: &'a mut EventQueue<CoordEv>,
+    /// Coordinator events of this window, keyed `(tick, seq, item idx)`.
+    heap: &'a mut BinaryHeap<Reverse<(u64, u64, u32)>>,
+    items: &'a mut Vec<CoordEv>,
+}
+
+impl MergeState<'_> {
+    fn push_coord(&mut self, tick: Tick, seq: u64, ev: CoordEv) {
+        if tick <= self.window_end {
+            self.items.push(ev);
+            self.heap
+                .push(Reverse((tick.as_ps(), seq, (self.items.len() - 1) as u32)));
+        } else {
+            self.coord_q.push_at_seq(tick, seq, ev);
+        }
+    }
+
+    /// Routes one freshly sequenced child to its owner. `origin` is the
+    /// shard that emitted it (`None` for the coordinator), which is the
+    /// only legal owner of a same-window destination.
+    fn route_child(&mut self, origin: Option<usize>, tick: Tick, seq: u64, child: Child) {
+        match child {
+            Child::Complete { req, level } => {
+                self.push_coord(tick, seq, CoordEv::Complete { req, level });
+            }
+            Child::Deliver { dst, msg, level } => match dest_shard(dst, msg.home, self.nshards) {
+                None => self.push_coord(tick, seq, CoordEv::Mem { msg }),
+                Some(d) => {
+                    if tick <= self.window_end {
+                        // Inside the window only a self-redelivery is
+                        // possible; the emitting shard already replayed
+                        // it, so there is nothing to route — but a
+                        // cross-shard hit here would mean the window
+                        // exceeded the engine's lookahead.
+                        assert_eq!(
+                            Some(d),
+                            origin,
+                            "parallel lookahead violation: cross-shard event at {tick} \
+                             inside the window ending {}",
+                            self.window_end
+                        );
+                    } else {
+                        self.mailboxes[d].lock().expect("mailbox poisoned").push((
+                            tick,
+                            seq,
+                            ShardEv::Deliver { dst, msg, level },
+                        ));
+                        self.mb_min[d] = self.mb_min[d].min(tick.as_ps());
+                    }
+                }
+            },
+        }
+    }
+}
+
+impl ProtocolEngine {
+    /// Runs all events up to and including `t` on `nshards` shards; the
+    /// completion stream is identical to the sequential
+    /// [`run_until`](Self::run_until). Called by `run_until` when the
+    /// [`ParallelConfig`](crate::config::ParallelConfig) policy engages.
+    pub(crate) fn run_until_parallel(&mut self, t: Tick, nshards: usize) -> Vec<Completion> {
+        let w = self.parallel_lookahead();
+        debug_assert!(w > Tick::ZERO, "engaged without lookahead");
+        self.parallel_runs += 1;
+        let topo = self.topology().clone();
+
+        // Distribute agents and pending events over the shards. Events
+        // keep their already-assigned sequence numbers, so per-shard
+        // queues pop their slices of the stream in global order.
+        let n_caches = self.caches.len();
+        let n_homes = self.homes.len();
+        let mut shards: Vec<Shard> = (0..nshards).map(|i| Shard::new(i, nshards)).collect();
+        for (i, c) in self.caches.drain(..).enumerate() {
+            shards[i % nshards].caches.push(c);
+        }
+        for (i, h) in self.homes.drain(..).enumerate() {
+            shards[i % nshards].homes.push(h);
+        }
+        let mut coord_q: EventQueue<CoordEv> = EventQueue::new();
+        while let Some((tick, seq, ev)) = self.queue.pop_seq() {
+            match ev {
+                Ev::Issue { req } => {
+                    let r = self.request(req);
+                    let s = (r.agent.index() - 2) % nshards;
+                    shards[s].queue.push_at_seq(
+                        tick,
+                        seq,
+                        ShardEv::Issue {
+                            req,
+                            agent: r.agent,
+                            op: r.op,
+                            addr: r.addr,
+                        },
+                    );
+                }
+                Ev::Deliver { dst, msg, level } => match dest_shard(dst, msg.home, nshards) {
+                    Some(s) => {
+                        shards[s]
+                            .queue
+                            .push_at_seq(tick, seq, ShardEv::Deliver { dst, msg, level })
+                    }
+                    None => coord_q.push_at_seq(tick, seq, CoordEv::Mem { msg }),
+                },
+                Ev::Complete { req, level } => {
+                    coord_q.push_at_seq(tick, seq, CoordEv::Complete { req, level })
+                }
+            }
+        }
+
+        let mut shard_next: Vec<u64> = shards
+            .iter()
+            .map(|s| s.queue.peek_tick().map_or(u64::MAX, |t| t.as_ps()))
+            .collect();
+        let mut mb_min: Vec<u64> = vec![u64::MAX; nshards];
+        let shards: Vec<Mutex<Shard>> = shards.into_iter().map(Mutex::new).collect();
+        let mailboxes: Vec<Mailbox> = (0..nshards).map(|_| Mutex::new(Vec::new())).collect();
+        let barrier = PhaseBarrier::new(nshards - 1);
+        let window_end_ps = AtomicU64::new(0);
+        let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+        let mut items: Vec<CoordEv> = Vec::new();
+
+        std::thread::scope(|scope| {
+            for mailbox_and_shard in shards.iter().zip(&mailboxes).skip(1) {
+                let (shard, mailbox) = mailbox_and_shard;
+                let (barrier, window_end_ps, topo) = (&barrier, &window_end_ps, &topo);
+                scope.spawn(move || {
+                    let mut seen = 0;
+                    while let Some(epoch) = barrier.await_phase(seen) {
+                        seen = epoch;
+                        let end = Tick::from_ps(window_end_ps.load(Ordering::Acquire));
+                        let mut s = shard.lock().expect("shard poisoned");
+                        let mut m = mailbox.lock().expect("mailbox poisoned");
+                        s.run_phase(topo, end, &mut m);
+                        drop(m);
+                        drop(s);
+                        barrier.arrive();
+                    }
+                });
+            }
+
+            loop {
+                let coord_next = coord_q.peek_tick().map_or(u64::MAX, |t| t.as_ps());
+                let t0 = shard_next
+                    .iter()
+                    .zip(mb_min.iter())
+                    .map(|(a, b)| (*a).min(*b))
+                    .min()
+                    .unwrap_or(u64::MAX)
+                    .min(coord_next);
+                if t0 == u64::MAX || t0 > t.as_ps() {
+                    break;
+                }
+                let window_end = Tick::from_ps(t0.saturating_add(w.as_ps() - 1)).min(t);
+                let shard_active = shard_next
+                    .iter()
+                    .zip(mb_min.iter())
+                    .any(|(a, b)| (*a).min(*b) <= window_end.as_ps());
+                if shard_active {
+                    window_end_ps.store(window_end.as_ps(), Ordering::Relaxed);
+                    barrier.open();
+                    {
+                        // The coordinator doubles as shard 0's worker.
+                        let mut s = shards[0].lock().expect("shard poisoned");
+                        let mut m = mailboxes[0].lock().expect("mailbox poisoned");
+                        s.run_phase(&topo, window_end, &mut m);
+                    }
+                    barrier.await_workers();
+                    // Every shard drained its mailbox during the phase.
+                    mb_min.fill(u64::MAX);
+                    let mut guards: Vec<MutexGuard<'_, Shard>> = shards
+                        .iter()
+                        .map(|s| s.lock().expect("shard poisoned"))
+                        .collect();
+                    let mut st = MergeState {
+                        nshards,
+                        window_end,
+                        mailboxes: &mailboxes,
+                        mb_min: &mut mb_min,
+                        coord_q: &mut coord_q,
+                        heap: &mut heap,
+                        items: &mut items,
+                    };
+                    self.walk_window(&mut guards, &mut st);
+                    for (next, guard) in shard_next.iter_mut().zip(guards.iter()) {
+                        *next = guard.next_tick.map_or(u64::MAX, |t| t.as_ps());
+                    }
+                } else {
+                    // Coordinator-only window (completions / memory):
+                    // no shard has work before the horizon, so skip the
+                    // barrier round entirely.
+                    let mut st = MergeState {
+                        nshards,
+                        window_end,
+                        mailboxes: &mailboxes,
+                        mb_min: &mut mb_min,
+                        coord_q: &mut coord_q,
+                        heap: &mut heap,
+                        items: &mut items,
+                    };
+                    self.walk_window(&mut [], &mut st);
+                }
+            }
+            barrier.close();
+        });
+
+        // Reassemble: agents return to their engine slots, undelivered
+        // events (anything past `t`) return to the global queue with
+        // their sequence numbers intact.
+        let mut caches: Vec<Option<crate::cache::CacheAgent>> =
+            (0..n_caches).map(|_| None).collect();
+        let mut homes: Vec<Option<crate::home::HomeAgent>> = (0..n_homes).map(|_| None).collect();
+        for (s, shard) in shards.into_iter().enumerate() {
+            let mut shard = shard.into_inner().expect("shard poisoned");
+            for (local, c) in shard.caches.drain(..).enumerate() {
+                caches[local * nshards + s] = Some(c);
+            }
+            for (local, h) in shard.homes.drain(..).enumerate() {
+                homes[local * nshards + s] = Some(h);
+            }
+            while let Some((tick, seq, ev)) = shard.queue.pop_seq() {
+                self.queue.push_at_seq(tick, seq, unshard_ev(ev));
+            }
+        }
+        self.caches = caches.into_iter().map(|c| c.expect("cache")).collect();
+        self.homes = homes.into_iter().map(|h| h.expect("home")).collect();
+        for mailbox in &mailboxes {
+            for (tick, seq, ev) in mailbox.lock().expect("mailbox poisoned").drain(..) {
+                self.queue.push_at_seq(tick, seq, unshard_ev(ev));
+            }
+        }
+        while let Some((tick, seq, ev)) = coord_q.pop_seq() {
+            let ev = match ev {
+                CoordEv::Mem { msg } => Ev::Deliver {
+                    dst: AgentId::MEMORY,
+                    msg,
+                    level: None,
+                },
+                CoordEv::Complete { req, level } => Ev::Complete { req, level },
+            };
+            self.queue.push_at_seq(tick, seq, ev);
+        }
+        if t != Tick::MAX && t > self.now {
+            self.now = t;
+        }
+        std::mem::take(&mut self.completions)
+    }
+
+    /// The barrier merge: walks every event of the window in global
+    /// `(tick, seq)` order — k-way over the shard traces plus the
+    /// coordinator's own events — executing coordinator events inline
+    /// and assigning each recorded child its final sequence number, in
+    /// exactly the order the sequential engine would have pushed them.
+    fn walk_window(&mut self, guards: &mut [MutexGuard<'_, Shard>], st: &mut MergeState<'_>) {
+        // Per-shard cursors into the window trace.
+        let mut parent_idx = vec![0usize; guards.len()];
+        let mut child_idx = vec![0usize; guards.len()];
+        for g in guards.iter_mut() {
+            let n = g.children.len();
+            g.children_seqs.clear();
+            g.children_seqs.resize(n, u64::MAX);
+        }
+        while let Some((tick, seq, ev)) = st.coord_q.pop_seq_before(st.window_end) {
+            st.items.push(ev);
+            st.heap
+                .push(Reverse((tick.as_ps(), seq, (st.items.len() - 1) as u32)));
+        }
+        loop {
+            // Find the (tick, seq)-minimal head among shard traces and
+            // pending coordinator events.
+            let mut best: Option<(u64, u64, usize)> = None; // (tick, seq, source)
+            for (s, g) in guards.iter().enumerate() {
+                if let Some(p) = g.parents.get(parent_idx[s]) {
+                    let seq = match p.origin {
+                        Origin::Queue { seq } => seq,
+                        Origin::SelfChild { child } => {
+                            let seq = g.children_seqs[child as usize];
+                            debug_assert_ne!(seq, u64::MAX, "self-child walked before parent");
+                            seq
+                        }
+                    };
+                    let key = (p.tick.as_ps(), seq, s);
+                    if best.is_none_or(|b| (key.0, key.1) < (b.0, b.1)) {
+                        best = Some(key);
+                    }
+                }
+            }
+            let coord_first = match (st.heap.peek(), best) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(Reverse((ct, cs, _))), Some((bt, bs, _))) => (*ct, *cs) < (bt, bs),
+            };
+            if coord_first {
+                let Reverse((tps, _seq, item)) = st.heap.pop().expect("peeked");
+                let tick = Tick::from_ps(tps);
+                debug_assert!(tick >= self.now, "time went backwards");
+                self.now = tick;
+                self.events += 1;
+                match st.items[item as usize] {
+                    CoordEv::Complete { req, level } => self.apply_complete(tick, req, level),
+                    CoordEv::Mem { msg } => {
+                        if let Some((arrival, reply)) = self.handle_mem_at(msg, tick) {
+                            let seq = self.take_seq();
+                            st.route_child(
+                                None,
+                                arrival,
+                                seq,
+                                Child::Deliver {
+                                    dst: AgentId::HOME,
+                                    msg: reply,
+                                    level: None,
+                                },
+                            );
+                        }
+                    }
+                }
+            } else {
+                let (_, _, s) = best.expect("checked");
+                let g = &mut guards[s];
+                let p = g.parents[parent_idx[s]];
+                parent_idx[s] += 1;
+                debug_assert!(p.tick >= self.now, "time went backwards");
+                self.now = p.tick;
+                self.events += 1;
+                let first = child_idx[s];
+                child_idx[s] += p.children as usize;
+                for c in first..child_idx[s] {
+                    let (ct, child) = g.children[c];
+                    let seq = self.take_seq();
+                    g.children_seqs[c] = seq;
+                    st.route_child(Some(s), ct, seq, child);
+                }
+            }
+        }
+        debug_assert!(st.heap.is_empty());
+        st.items.clear();
+        for (s, g) in guards.iter().enumerate() {
+            debug_assert_eq!(parent_idx[s], g.parents.len(), "unwalked shard parents");
+        }
+    }
+}
+
+/// Maps a shard event back to the engine's queue representation (for
+/// returning undelivered events after a bounded run).
+fn unshard_ev(ev: ShardEv) -> Ev {
+    match ev {
+        ShardEv::Issue { req, .. } => Ev::Issue { req },
+        ShardEv::Deliver { dst, msg, level } => Ev::Deliver { dst, msg, level },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{CacheConfig, ParallelConfig};
+    use crate::funcmem::AtomicKind;
+    use crate::msg::MemOp;
+    use crate::{Completion, HomeId, ProtocolEngine, Topology};
+    use sim_core::{SimRng, Tick};
+    use simcxl_mem::PhysAddr;
+
+    fn build(homes: usize, caches: usize, parallel: Option<ParallelConfig>) -> ProtocolEngine {
+        let mut b = ProtocolEngine::builder();
+        if homes > 1 {
+            b = b.topology(Topology::line_interleaved(homes));
+        }
+        if let Some(p) = parallel {
+            b = b.parallel_config(p);
+        }
+        let mut eng = b.build();
+        for i in 0..caches {
+            // Small caches so capacity evictions churn (set counts must
+            // stay powers of two: 12 KB/12-way -> 16 sets, 8 KB/4-way ->
+            // 32 sets).
+            let cfg = if i % 2 == 0 {
+                CacheConfig {
+                    size_bytes: 12 * 1024,
+                    ..CacheConfig::cpu_l1()
+                }
+            } else {
+                CacheConfig {
+                    size_bytes: 8 * 1024,
+                    ..CacheConfig::hmc_128k()
+                }
+            };
+            eng.add_cache(cfg);
+        }
+        eng
+    }
+
+    /// Mixed traffic with heavy RMW contention on a few hot lines, so
+    /// snoop deferrals (the self-redelivery path) definitely occur.
+    fn drive(eng: &mut ProtocolEngine, seed: u64, requests: usize) {
+        let mut rng = SimRng::new(seed);
+        let n_caches = 4;
+        for i in 0..requests {
+            let agent = crate::msg::AgentId(2 + (rng.below(n_caches as u64) as usize));
+            let line = if rng.below(4) == 0 {
+                rng.below(4)
+            } else {
+                4 + rng.below(512)
+            };
+            let addr = PhysAddr::new(line * 64);
+            let op = match rng.below(10) {
+                0..=4 => MemOp::Load,
+                5..=6 => MemOp::Store {
+                    value: rng.next_u64(),
+                },
+                7..=8 => MemOp::Rmw {
+                    kind: AtomicKind::FetchAdd,
+                    operand: 1,
+                    operand2: 0,
+                },
+                _ => MemOp::NcPush {
+                    value: rng.next_u64(),
+                },
+            };
+            let at = Tick::from_ps(i as u64 * 1500 + rng.below(997));
+            eng.issue(agent, op, addr, at);
+        }
+    }
+
+    fn streams_equal(a: &[Completion], b: &[Completion]) {
+        assert_eq!(a.len(), b.len(), "stream lengths differ");
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert_eq!(x, y, "streams diverge at completion {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_stream_equals_sequential_stream() {
+        for threads in [2, 3, 4] {
+            let mut seq = build(4, 4, None);
+            let mut par = build(4, 4, Some(ParallelConfig::always(threads)));
+            drive(&mut seq, 0xFEED, 1_500);
+            drive(&mut par, 0xFEED, 1_500);
+            let a = seq.run_to_quiescence();
+            let b = par.run_to_quiescence();
+            assert!(par.parallel_runs() > 0, "parallel path never engaged");
+            streams_equal(&a, &b);
+            assert_eq!(seq.events_dispatched(), par.events_dispatched());
+            assert_eq!(seq.now(), par.now());
+            par.verify_invariants();
+            assert_eq!(seq.home_stats(), par.home_stats());
+            for h in 0..4 {
+                assert_eq!(seq.home_stats_for(HomeId(h)), par.home_stats_for(HomeId(h)));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_single_home_also_matches() {
+        // Sharding with one home still distributes the caches; the
+        // stream contract holds there too.
+        let mut seq = build(1, 4, None);
+        let mut par = build(1, 4, Some(ParallelConfig::always(4)));
+        drive(&mut seq, 0xACE, 800);
+        drive(&mut par, 0xACE, 800);
+        streams_equal(&seq.run_to_quiescence(), &par.run_to_quiescence());
+        assert!(par.parallel_runs() > 0);
+    }
+
+    #[test]
+    fn bounded_runs_and_reengagement_match_sequential() {
+        // Stop mid-simulation (events return to the global queue), issue
+        // more traffic, continue: every boundary must be seamless.
+        let mut seq = build(2, 4, None);
+        let mut par = build(2, 4, Some(ParallelConfig::always(2)));
+        drive(&mut seq, 7, 600);
+        drive(&mut par, 7, 600);
+        let cut = Tick::from_us(100);
+        let a1 = seq.run_until(cut);
+        let b1 = par.run_until(cut);
+        streams_equal(&a1, &b1);
+        assert_eq!(seq.now(), par.now());
+        // Second wave on top of the leftovers.
+        let mut rng_at = SimRng::new(99);
+        for i in 0..300u64 {
+            let agent = crate::msg::AgentId(2 + (i % 4) as usize);
+            let addr = PhysAddr::new((i % 64) * 64);
+            let at = cut + Tick::from_ps(i * 700 + rng_at.below(500));
+            seq.issue(agent, MemOp::Store { value: i }, addr, at);
+            par.issue(agent, MemOp::Store { value: i }, addr, at);
+        }
+        let a2 = seq.run_to_quiescence();
+        let b2 = par.run_to_quiescence();
+        streams_equal(&a2, &b2);
+        assert!(par.parallel_runs() >= 1);
+        par.verify_invariants();
+    }
+
+    #[test]
+    fn more_threads_than_agents_clamps() {
+        // 16 requested shards against 4 caches + 2 homes: the engine
+        // clamps to the agent count instead of spawning idle workers.
+        let mut par = build(2, 4, Some(ParallelConfig::always(16)));
+        drive(&mut par, 5, 300);
+        let mut seq = build(2, 4, None);
+        drive(&mut seq, 5, 300);
+        streams_equal(&seq.run_to_quiescence(), &par.run_to_quiescence());
+        assert!(par.parallel_runs() > 0);
+    }
+
+    #[test]
+    fn min_queue_threshold_defers_to_sequential() {
+        let mut par = build(2, 4, Some(ParallelConfig::new(2)));
+        // Far fewer pending events than DEFAULT_MIN_QUEUE.
+        drive(&mut par, 3, 50);
+        let _ = par.run_to_quiescence();
+        assert_eq!(par.parallel_runs(), 0);
+    }
+
+    #[test]
+    fn lookahead_is_positive_for_default_configs() {
+        let eng = build(4, 4, None);
+        let w = eng.parallel_lookahead();
+        assert!(w > Tick::ZERO);
+        // Bounded by the fastest cache link (cpu_l1: 8 ns + serialization).
+        assert!(w <= Tick::from_ns(9), "lookahead {w} unexpectedly large");
+    }
+}

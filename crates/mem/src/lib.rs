@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! Memory substrate for SimCXL: physical addresses, DRAM timing models and
 //! the unified [`MemoryInterface`] that routes requests to host or device
 //! memory by physical address range (paper §IV-B3).

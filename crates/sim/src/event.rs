@@ -2,10 +2,10 @@
 //!
 //! # Structure
 //!
-//! The queue keeps near-future events in a ring of [`BUCKETS`] tick
-//! buckets of [`BUCKET_WIDTH_PS`] picoseconds each (a classic calendar
-//! queue) and far-future events — beyond the ring's ~33 µs horizon — in
-//! an overflow binary heap. Discrete-event simulations schedule almost
+//! The queue keeps near-future events in a ring of 4096 tick buckets of
+//! 2^13 ps ≈ 8.2 ns each (a classic calendar queue) and far-future
+//! events — beyond the ring's ~33 µs horizon — in an overflow binary
+//! heap. Discrete-event simulations schedule almost
 //! exclusively into the near future, so the common case for both `push`
 //! and `pop` touches one bucket:
 //!
@@ -105,6 +105,12 @@ pub struct EventQueue<E> {
     /// Far-future events (tick beyond the ring horizon at push time).
     overflow: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    /// Exact tick of the earliest queued event, when known. Set when a
+    /// bounded pop refuses (it just located that event), min-merged on
+    /// push, invalidated by any successful pop. Lets the window loops
+    /// of sharded schedulers call [`peek_tick`](Self::peek_tick) right
+    /// after draining a window without paying the bucket scan.
+    next_hint: Option<u64>,
 }
 
 impl<E> EventQueue<E> {
@@ -120,13 +126,41 @@ impl<E> EventQueue<E> {
             ring_len: 0,
             overflow: BinaryHeap::new(),
             next_seq: 0,
+            next_hint: None,
         }
     }
 
     /// Schedules `payload` at `tick`.
     pub fn push(&mut self, tick: Tick, payload: E) {
         let seq = self.next_seq;
-        self.next_seq += 1;
+        self.push_at_seq(tick, seq, payload);
+    }
+
+    /// Schedules `payload` at `tick` with an explicit tie-break sequence
+    /// number instead of the queue's internal counter.
+    ///
+    /// This is the sharding primitive: a scheduler that distributes
+    /// events over several per-shard queues can assign sequence numbers
+    /// from one global counter, so every queue pops its slice of the
+    /// event stream in exactly the order a single merged queue would
+    /// have used. The internal counter is bumped past `seq`, so mixing
+    /// `push` and `push_at_seq` keeps later plain pushes ordered after
+    /// every explicitly numbered event.
+    ///
+    /// ```
+    /// use sim_core::{EventQueue, Tick};
+    /// let mut q = EventQueue::new();
+    /// // Same tick, explicit seqs: pops in seq order, not push order.
+    /// q.push_at_seq(Tick::from_ns(3), 7, 'b');
+    /// q.push_at_seq(Tick::from_ns(3), 2, 'a');
+    /// assert_eq!(q.pop_seq(), Some((Tick::from_ns(3), 2, 'a')));
+    /// assert_eq!(q.pop_seq(), Some((Tick::from_ns(3), 7, 'b')));
+    /// ```
+    pub fn push_at_seq(&mut self, tick: Tick, seq: u64, payload: E) {
+        self.next_seq = self.next_seq.max(seq.saturating_add(1));
+        if let Some(h) = self.next_hint {
+            self.next_hint = Some(h.min(tick.as_ps()));
+        }
         let entry = Entry {
             tick: tick.as_ps(),
             seq,
@@ -181,13 +215,14 @@ impl<E> EventQueue<E> {
     /// Advances to the next candidate event; returns `None` when empty.
     /// With `bound`, stops (leaving the event queued) once the earliest
     /// event is later than the bound.
-    fn pop_bounded(&mut self, bound: Option<u64>) -> Option<(Tick, E)> {
+    fn pop_bounded(&mut self, bound: Option<u64>) -> Option<(Tick, u64, E)> {
         loop {
             if self.ring_len == 0 {
                 // Ring drained: re-anchor the calendar at the overflow's
                 // earliest event and pull the next horizon's worth in.
                 let min = self.overflow.peek()?.tick;
                 if bound.is_some_and(|b| min > b) {
+                    self.next_hint = Some(min);
                     return None;
                 }
                 debug_assert!(min >= self.epoch);
@@ -204,11 +239,13 @@ impl<E> EventQueue<E> {
                 let bucket = &mut self.buckets[self.cursor];
                 let next_tick = bucket.last().expect("nonempty").tick;
                 if bound.is_some_and(|b| next_tick > b) {
+                    self.next_hint = Some(next_tick);
                     return None;
                 }
                 let e = bucket.pop().expect("nonempty");
                 self.ring_len -= 1;
-                return Some((Tick::from_ps(e.tick), e.payload));
+                self.next_hint = None;
+                return Some((Tick::from_ps(e.tick), e.seq, e.payload));
             }
             // Cursor bucket empty: advance one bucket. The horizon moves
             // with it, so check the overflow for newly-near events.
@@ -221,7 +258,24 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(Tick, E)> {
+        self.pop_bounded(None).map(|(t, _, e)| (t, e))
+    }
+
+    /// Removes and returns the earliest event together with its
+    /// tie-break sequence number.
+    ///
+    /// Pairs with [`push_at_seq`](Self::push_at_seq): popping with the
+    /// sequence number lets a sharding scheduler move events between
+    /// queues (or hand them back to a global queue) without disturbing
+    /// the deterministic tie-break order.
+    pub fn pop_seq(&mut self) -> Option<(Tick, u64, E)> {
         self.pop_bounded(None)
+    }
+
+    /// Like [`pop_before`](Self::pop_before), but also returns the
+    /// event's tie-break sequence number.
+    pub fn pop_seq_before(&mut self, t: Tick) -> Option<(Tick, u64, E)> {
+        self.pop_bounded(Some(t.as_ps()))
     }
 
     /// Removes and returns the earliest event if its tick is `<= t`;
@@ -242,14 +296,26 @@ impl<E> EventQueue<E> {
     /// assert_eq!(q.len(), 1);
     /// ```
     pub fn pop_before(&mut self, t: Tick) -> Option<(Tick, E)> {
-        self.pop_bounded(Some(t.as_ps()))
+        self.pop_bounded(Some(t.as_ps())).map(|(t, _, e)| (t, e))
     }
 
     /// The timestamp of the earliest pending event.
     ///
-    /// O(buckets) worst case; use [`pop_before`](Self::pop_before) in
+    /// O(1) right after a bounded pop refused (the refusal caches the
+    /// tick it stopped at, and pushes keep the cache exact); otherwise
+    /// O(buckets) worst case — use [`pop_before`](Self::pop_before) in
     /// dispatch loops instead of peeking then popping.
     pub fn peek_tick(&self) -> Option<Tick> {
+        if let Some(h) = self.next_hint {
+            debug_assert_eq!(Some(Tick::from_ps(h)), self.peek_tick_scan());
+            return Some(Tick::from_ps(h));
+        }
+        self.peek_tick_scan()
+    }
+
+    /// The slow path of [`peek_tick`](Self::peek_tick): scan the ring
+    /// for the first non-empty bucket, else peek the overflow heap.
+    fn peek_tick_scan(&self) -> Option<Tick> {
         if self.ring_len > 0 {
             for d in 0..BUCKETS {
                 let bucket = &self.buckets[(self.cursor + d) & (BUCKETS - 1)];
@@ -280,6 +346,7 @@ impl<E> EventQueue<E> {
         self.overflow.clear();
         self.ring_len = 0;
         self.cur_sorted = false;
+        self.next_hint = None;
     }
 }
 
@@ -405,6 +472,88 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop_before(Tick::MAX), Some((Tick::from_us(200), 'z')));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn explicit_seqs_control_tie_break() {
+        let mut q = EventQueue::new();
+        q.push_at_seq(Tick::from_ns(1), 10, 'c');
+        q.push_at_seq(Tick::from_ns(1), 3, 'b');
+        q.push_at_seq(Tick::from_ns(1), 1, 'a');
+        // A later plain push must order after every explicit seq.
+        q.push(Tick::from_ns(1), 'd');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c', 'd']);
+    }
+
+    #[test]
+    fn pop_seq_round_trips_between_queues() {
+        // Splitting a stream across two queues and merging by (tick, seq)
+        // reproduces the single-queue order — the sharding invariant.
+        let mut global = EventQueue::new();
+        for i in 0..100u64 {
+            global.push(Tick::from_ns(i % 7), i);
+        }
+        let reference: Vec<u64> = {
+            let mut g = EventQueue::new();
+            for i in 0..100u64 {
+                g.push(Tick::from_ns(i % 7), i);
+            }
+            std::iter::from_fn(|| g.pop().map(|(_, e)| e)).collect()
+        };
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        while let Some((t, seq, e)) = global.pop_seq() {
+            if e % 2 == 0 {
+                a.push_at_seq(t, seq, e);
+            } else {
+                b.push_at_seq(t, seq, e);
+            }
+        }
+        // Merge back and drain.
+        let mut merged = EventQueue::new();
+        while let Some((t, seq, e)) = a.pop_seq() {
+            merged.push_at_seq(t, seq, e);
+        }
+        while let Some((t, seq, e)) = b.pop_seq() {
+            merged.push_at_seq(t, seq, e);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| merged.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, reference);
+    }
+
+    #[test]
+    fn pop_seq_before_bounds_like_pop_before() {
+        let mut q = EventQueue::new();
+        q.push(Tick::from_ns(10), 'a');
+        q.push(Tick::from_ns(20), 'b');
+        assert_eq!(
+            q.pop_seq_before(Tick::from_ns(15)),
+            Some((Tick::from_ns(10), 0, 'a'))
+        );
+        assert_eq!(q.pop_seq_before(Tick::from_ns(15)), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peek_after_refusal_is_exact_across_pushes_and_pops() {
+        // A bounded-pop refusal caches the next tick; pushes min-merge
+        // into it and pops invalidate it. (`peek_tick` cross-checks the
+        // cache against the full scan under debug assertions.)
+        let mut q = EventQueue::new();
+        q.push(Tick::from_ns(10), 'a');
+        q.push(Tick::from_us(100), 'z'); // overflow tier
+        assert_eq!(q.pop_before(Tick::from_ns(5)), None);
+        assert_eq!(q.peek_tick(), Some(Tick::from_ns(10)));
+        q.push(Tick::from_ns(3), 'b'); // earlier than the cached tick
+        assert_eq!(q.peek_tick(), Some(Tick::from_ns(3)));
+        assert_eq!(q.pop().unwrap().1, 'b');
+        assert_eq!(q.peek_tick(), Some(Tick::from_ns(10)));
+        assert_eq!(q.pop().unwrap().1, 'a');
+        assert_eq!(q.pop_before(Tick::from_ns(50)), None); // overflow refusal
+        assert_eq!(q.peek_tick(), Some(Tick::from_us(100)));
+        assert_eq!(q.pop().unwrap().1, 'z');
+        assert_eq!(q.peek_tick(), None);
     }
 
     #[test]

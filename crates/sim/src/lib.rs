@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! Discrete-event simulation kernel used by every SimCXL component.
 //!
 //! The kernel follows gem5's conventions: simulated time is measured in
@@ -25,6 +26,7 @@ pub mod event;
 pub mod fxhash;
 pub mod link;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 
@@ -33,5 +35,6 @@ pub use event::EventQueue;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use link::{Link, LinkConfig};
 pub use rng::SimRng;
+pub use shard::PhaseBarrier;
 pub use stats::{mape, Counter, Summary};
 pub use time::{Freq, Tick};

@@ -1,0 +1,193 @@
+//! Barrier primitives for sharded, window-synchronized event loops.
+//!
+//! A conservative parallel discrete-event scheduler partitions the model
+//! into *shards* (disjoint slices of simulation state, each with its own
+//! [`EventQueue`](crate::EventQueue)) and advances simulated time in
+//! *tick windows*: every shard processes all of its events inside the
+//! window `[t0, t0 + W]` in parallel, then a coordinator merges the
+//! cross-shard messages produced and opens the next window. The window
+//! width `W` must not exceed the model's *lookahead* — the minimum
+//! latency of any cross-shard interaction — so that nothing produced
+//! inside a window can also be consumed by another shard inside it.
+//!
+//! [`PhaseBarrier`] is the synchronization core of that loop: an
+//! epoch-numbered open/arrive barrier for one coordinator plus `N`
+//! workers. The coordinator [`open`](PhaseBarrier::open)s a phase,
+//! workers observe it via [`await_phase`](PhaseBarrier::await_phase),
+//! do their window's work, and [`arrive`](PhaseBarrier::arrive); the
+//! coordinator blocks in [`await_workers`](PhaseBarrier::await_workers)
+//! until all have arrived, merges, and repeats. Waiting spins briefly
+//! and then yields, so the barrier stays correct (if slower) even when
+//! the host has fewer hardware threads than workers.
+//!
+//! Memory ordering: `open` is a release operation and `await_phase` an
+//! acquire, so everything the coordinator writes before opening a phase
+//! (window bounds, routed events) is visible to workers inside it;
+//! `arrive`/`await_workers` pair the same way in the other direction.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Epoch value signalling that no more phases will be opened.
+const CLOSED: u64 = u64::MAX;
+
+/// An epoch-based phase barrier for one coordinator and `workers`
+/// spin-waiting participants.
+///
+/// ```
+/// use sim_core::shard::PhaseBarrier;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let barrier = PhaseBarrier::new(2);
+/// let sum = AtomicU64::new(0);
+/// std::thread::scope(|s| {
+///     for _ in 0..2 {
+///         s.spawn(|| {
+///             let mut seen = 0;
+///             // Each worker handles every phase until the barrier closes.
+///             while let Some(epoch) = barrier.await_phase(seen) {
+///                 seen = epoch;
+///                 sum.fetch_add(epoch, Ordering::Relaxed);
+///                 barrier.arrive();
+///             }
+///         });
+///     }
+///     for _ in 0..3 {
+///         barrier.open();
+///         barrier.await_workers();
+///     }
+///     barrier.close();
+/// });
+/// // Phases 1, 2, 3 were each handled by both workers.
+/// assert_eq!(sum.load(Ordering::Relaxed), 2 * (1 + 2 + 3));
+/// ```
+#[derive(Debug)]
+pub struct PhaseBarrier {
+    epoch: AtomicU64,
+    arrived: AtomicUsize,
+    workers: usize,
+}
+
+impl PhaseBarrier {
+    /// Creates a barrier for `workers` participants (the coordinator is
+    /// not counted).
+    pub fn new(workers: usize) -> Self {
+        PhaseBarrier {
+            epoch: AtomicU64::new(0),
+            arrived: AtomicUsize::new(0),
+            workers,
+        }
+    }
+
+    /// Number of worker participants.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Coordinator: opens the next phase and returns its epoch.
+    ///
+    /// Must not be called again before [`await_workers`](Self::await_workers)
+    /// has returned for the previous phase.
+    pub fn open(&self) -> u64 {
+        self.arrived.store(0, Ordering::Relaxed);
+        // Release: workers that observe the new epoch also observe every
+        // write the coordinator made before opening.
+        self.epoch.fetch_add(1, Ordering::Release) + 1
+    }
+
+    /// Coordinator: signals that no further phases will open; workers
+    /// blocked in [`await_phase`](Self::await_phase) return `None`.
+    pub fn close(&self) {
+        self.epoch.store(CLOSED, Ordering::Release);
+    }
+
+    /// Worker: blocks until a phase newer than `seen` opens; returns its
+    /// epoch, or `None` once the barrier is closed.
+    pub fn await_phase(&self, seen: u64) -> Option<u64> {
+        let mut spins = 0u32;
+        loop {
+            let e = self.epoch.load(Ordering::Acquire);
+            if e == CLOSED {
+                return None;
+            }
+            if e != seen {
+                return Some(e);
+            }
+            spin_or_yield(&mut spins);
+        }
+    }
+
+    /// Worker: marks this phase's work complete.
+    pub fn arrive(&self) {
+        // Release: the coordinator's acquire load in `await_workers`
+        // then observes all of this worker's phase output.
+        self.arrived.fetch_add(1, Ordering::Release);
+    }
+
+    /// Coordinator: blocks until every worker has arrived at the current
+    /// phase.
+    pub fn await_workers(&self) {
+        let mut spins = 0u32;
+        while self.arrived.load(Ordering::Acquire) < self.workers {
+            spin_or_yield(&mut spins);
+        }
+    }
+}
+
+/// Spins briefly, then yields to the OS scheduler so progress is made
+/// even when participants outnumber hardware threads.
+fn spin_or_yield(spins: &mut u32) {
+    if *spins < 64 {
+        *spins += 1;
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn phases_run_in_lockstep() {
+        let barrier = PhaseBarrier::new(3);
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    let mut seen = 0;
+                    while let Some(e) = barrier.await_phase(seen) {
+                        seen = e;
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        barrier.arrive();
+                    }
+                });
+            }
+            for round in 1..=10u64 {
+                barrier.open();
+                barrier.await_workers();
+                // All three workers ran exactly once per phase.
+                assert_eq!(counter.load(Ordering::SeqCst), 3 * round);
+            }
+            barrier.close();
+        });
+    }
+
+    #[test]
+    fn close_without_phases_releases_workers() {
+        let barrier = PhaseBarrier::new(1);
+        std::thread::scope(|s| {
+            let h = s.spawn(|| barrier.await_phase(0));
+            barrier.close();
+            assert_eq!(h.join().unwrap(), None);
+        });
+    }
+
+    #[test]
+    fn zero_workers_is_trivially_complete() {
+        let barrier = PhaseBarrier::new(0);
+        barrier.open();
+        barrier.await_workers(); // must not block
+    }
+}

@@ -217,6 +217,69 @@ proptest! {
         eng.verify_invariants();
     }
 
+    /// The parallel executor is stream-preserving: for random
+    /// topologies (pow2 interleaves and asymmetric range tables),
+    /// random mixed traffic, and random shard counts, the parallel
+    /// engine's completion stream equals the sequential engine's —
+    /// completion by completion, including timestamps and values.
+    #[test]
+    fn parallel_stream_equals_sequential_for_random_topologies(
+        homes_log2 in 0u32..3,
+        use_range_table in any::<bool>(),
+        threads in 2usize..5,
+        ops in prop::collection::vec((0u8..5, 0u64..24, any::<u16>()), 1..120)
+    ) {
+        let homes = 1usize << homes_log2;
+        let topology = if use_range_table && homes > 1 {
+            // Claim a window of the traffic range for the last home;
+            // the rest falls back to a line interleave.
+            let claim = simcxl_mem::AddrRange::new(PhysAddr::new(0x4000), 8 * 64);
+            Topology::ranges(homes, vec![(claim, HomeId(homes - 1))], homes, 64)
+        } else {
+            Topology::line_interleaved(homes)
+        };
+        let build = |parallel: bool| {
+            let mut b = ProtocolEngine::builder().topology(topology.clone());
+            if parallel {
+                b = b.parallel_config(simcxl_coherence::ParallelConfig::always(threads));
+            }
+            let mut eng = b.build();
+            let a = eng.add_cache(CacheConfig::cpu_l1());
+            let c = eng.add_cache(CacheConfig::hmc_128k());
+            (eng, a, c)
+        };
+        let drive = |eng: &mut ProtocolEngine, a: AgentId, b: AgentId| {
+            let mut t = Tick::ZERO;
+            for (kind, line, val) in &ops {
+                let agent = if val % 2 == 0 { a } else { b };
+                let addr = PhysAddr::new(0x4000 + line * 64);
+                let op = match kind {
+                    0 => MemOp::Load,
+                    1 => MemOp::Store { value: *val as u64 },
+                    2 => MemOp::Rmw {
+                        kind: AtomicKind::FetchAdd,
+                        operand: 1,
+                        operand2: 0,
+                    },
+                    3 => MemOp::NcPush { value: *val as u64 },
+                    _ => MemOp::Prefetch,
+                };
+                eng.issue(agent, op, addr, t);
+                t += Tick::from_ps((*val as u64 % 2000) * 97);
+            }
+            eng.run_to_quiescence()
+        };
+        let (mut seq, a1, b1) = build(false);
+        let (mut par, a2, b2) = build(true);
+        let s = drive(&mut seq, a1, b1);
+        let p = drive(&mut par, a2, b2);
+        prop_assert_eq!(s, p, "parallel stream diverged from sequential");
+        prop_assert_eq!(seq.events_dispatched(), par.events_dispatched());
+        prop_assert_eq!(seq.now(), par.now());
+        par.verify_invariants();
+        prop_assert_eq!(seq.home_stats(), par.home_stats());
+    }
+
     /// CircusTent streams always target the configured footprint and
     /// are deterministic in their seed.
     #[test]
