@@ -39,6 +39,19 @@ fn bench(c: &mut Criterion) {
     g.bench_function("stress_multihome", |b| {
         b.iter(|| hotpath::stress(&multihome_cfg))
     });
+    // The skewed 4:2:1:1 weighted interleave: measures the weighted
+    // stripe-pattern router against the uniform multihome variant.
+    let weighted_cfg = StressConfig {
+        requests: stress_cfg.requests,
+        ..if q {
+            StressConfig::multihome_weighted_quick()
+        } else {
+            StressConfig::multihome_weighted()
+        }
+    };
+    g.bench_function("stress_weighted", |b| {
+        b.iter(|| hotpath::stress(&weighted_cfg))
+    });
     // The same multihome workload as one upfront batch on the parallel
     // executor (stream-identical to sequential; wall time depends on the
     // host's core count, recorded as hw_threads in the JSON report).

@@ -9,12 +9,15 @@
 //! headline simulator-performance metric; the JSON report seeds the perf
 //! trajectory tracked across PRs.
 //!
-//! Three variants (see the README for the full `simcxl-hotpath/v3`
+//! Four variants (see the README for the full `simcxl-hotpath/v4`
 //! schema): `stress` (single home, wave driver — its checksum is the
 //! repo's oldest determinism anchor), `multihome` (the same waves over a
-//! four-home line interleave), and `stress_parallel` (the multihome
-//! workload as one upfront batch on the parallel executor, whose stream
-//! is asserted equal to its own sequential run before being reported).
+//! four-home line interleave), `multihome_weighted` (the waves over a
+//! skewed 4:2:1:1 weighted interleave, reporting how closely per-home
+//! directory traffic tracks the weights as `balance_error`), and
+//! `stress_parallel` (the multihome workload as one upfront batch on the
+//! parallel executor, whose stream is asserted equal to its own
+//! sequential run before being reported).
 
 use cohet::experiments;
 use cohet::DeviceProfile;
@@ -35,6 +38,15 @@ pub const BASELINE_EVENTS_PER_SEC: f64 = 4_820_000.0;
 /// Nanoseconds per event of the baseline engine (full stress).
 pub const BASELINE_NS_PER_EVENT: f64 = 207.5;
 
+/// The pinned full-mode `stress` checksum: stable since the
+/// calendar-queue engine landed; behavior-preserving changes must
+/// reproduce it bit-for-bit ([`check_determinism`] gates CI on it).
+pub const PINNED_STRESS_CHECKSUM_FULL: u64 = 0x8b604ff32e480de3;
+/// The pinned quick-mode (`HOTPATH_QUICK=1` CI smoke) `stress`
+/// checksum — the same stream anchor at the reduced request count,
+/// also pinned by `n1_reproduces_pre_refactor_completion_stream`.
+pub const PINNED_STRESS_CHECKSUM_QUICK: u64 = 0xb1e18caf05b4d6a4;
+
 /// Parameters of the stress workload.
 #[derive(Debug, Clone)]
 pub struct StressConfig {
@@ -53,6 +65,10 @@ pub struct StressConfig {
     /// Home agents the directory is line-interleaved across (1 = the
     /// monolithic single-home engine the `stress` checksum anchors).
     pub homes: usize,
+    /// Per-home stripe weights for the weighted-interleave variant
+    /// (`None` = uniform; `Some` overrides `homes` with its length and
+    /// routes through [`Topology::weighted`] at cacheline stride).
+    pub weights: Option<Vec<u64>>,
 }
 
 impl StressConfig {
@@ -66,6 +82,7 @@ impl StressConfig {
             wave: 256,
             seed: 0xC0FFEE,
             homes: 1,
+            weights: None,
         }
     }
 
@@ -93,6 +110,34 @@ impl StressConfig {
         StressConfig {
             homes: 4,
             ..Self::quick()
+        }
+    }
+
+    /// The stripe weights of the weighted stress variant: one big host
+    /// home next to a half-size and two quarter-size pools — the
+    /// acceptance shape for capacity-proportional balance.
+    pub const WEIGHTED_WEIGHTS: [u64; 4] = [4, 2, 1, 1];
+
+    /// The weighted-interleave stress variant: the same wave workload
+    /// with the directory striped 4:2:1:1 across four homes at
+    /// cacheline stride. The hot set is widened from 16 to 32 lines so
+    /// it spans the full 8-stripe repeat pattern (16 lines cover only
+    /// half the pattern, which would skew the hot 20% of traffic away
+    /// from the weights regardless of the interleave's quality).
+    pub fn multihome_weighted() -> Self {
+        StressConfig {
+            homes: 4,
+            hot_lines: 32,
+            weights: Some(Self::WEIGHTED_WEIGHTS.to_vec()),
+            ..Self::full()
+        }
+    }
+
+    /// Sub-second weighted configuration for CI smoke runs.
+    pub fn multihome_weighted_quick() -> Self {
+        StressConfig {
+            requests: 20_000,
+            ..Self::multihome_weighted()
         }
     }
 }
@@ -139,7 +184,9 @@ fn build_engine(cfg: &StressConfig) -> (ProtocolEngine, Vec<AgentId>) {
     }
     let mut eng = ProtocolEngine::builder()
         .memory(mi)
-        .topology(if cfg.homes == 1 {
+        .topology(if let Some(w) = &cfg.weights {
+            Topology::weighted(w, simcxl_mem::CACHELINE_BYTES)
+        } else if cfg.homes == 1 {
             Topology::single()
         } else {
             Topology::line_interleaved(cfg.homes)
@@ -208,6 +255,36 @@ fn pick_op(rng: &mut SimRng) -> MemOp {
 fn fold_checksum(acc: u64, c: &Completion) -> u64 {
     acc.rotate_left(7)
         .wrapping_add(c.value ^ c.done.as_ps() ^ c.addr.raw())
+}
+
+/// The in-process gate on the full-mode `multihome_weighted` entry:
+/// [`report_json`] refuses to write a full report whose
+/// [`balance_error`] exceeds this, so the committed number cannot
+/// silently regress (quick mode is exempt — 20k requests carry
+/// statistical noise; its unit test bounds it separately).
+pub const BALANCE_ERROR_GATE: f64 = 0.05;
+
+/// Maximum relative deviation of per-home request traffic from its
+/// weight share: `max_i |share_i - w_i/sum(w)| / (w_i/sum(w))` over the
+/// per-home `requests` counters. `0.0` is perfect
+/// capacity-proportional balance; the full-mode report asserts
+/// [`BALANCE_ERROR_GATE`] before writing.
+pub fn balance_error(per_home: &[simcxl_coherence::home::HomeStats], weights: &[u64]) -> f64 {
+    assert_eq!(per_home.len(), weights.len());
+    let total_req: u64 = per_home.iter().map(|s| s.requests).sum();
+    let total_w: u64 = weights.iter().sum();
+    if total_req == 0 {
+        return 0.0;
+    }
+    per_home
+        .iter()
+        .zip(weights)
+        .map(|(s, &w)| {
+            let share = s.requests as f64 / total_req as f64;
+            let want = w as f64 / total_w as f64;
+            (share - want).abs() / want
+        })
+        .fold(0.0, f64::max)
 }
 
 /// Runs the stress workload and reports wall-clock throughput.
@@ -417,6 +494,38 @@ fn push_stress_section(out: &mut String, cfg: &StressConfig, r: &StressResult) {
     out.push_str("  },\n");
 }
 
+/// The `multihome_weighted` section (v4): the stress fields plus the
+/// stripe weights and how far per-home traffic deviates from them.
+fn push_weighted_section(out: &mut String, cfg: &StressConfig, r: &StressResult) {
+    let weights = cfg.weights.as_deref().expect("weighted config");
+    out.push_str(&format!("    \"caches\": {},\n", cfg.caches));
+    out.push_str(&format!("    \"homes\": {},\n", cfg.homes));
+    out.push_str(&format!(
+        "    \"weights\": [{}],\n",
+        weights
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!("    \"requests\": {},\n", cfg.requests));
+    out.push_str(&format!("    \"events\": {},\n", r.events));
+    out.push_str(&format!("    \"completions\": {},\n", r.completions));
+    out.push_str(&format!("    \"wall_secs\": {:.4},\n", r.wall_secs));
+    out.push_str(&format!(
+        "    \"events_per_sec\": {:.0},\n",
+        r.events_per_sec()
+    ));
+    out.push_str(&format!("    \"ns_per_event\": {:.1},\n", r.ns_per_event()));
+    out.push_str(&format!("    \"checksum\": \"{:#018x}\",\n", r.checksum));
+    out.push_str(&format!(
+        "    \"balance_error\": {:.4},\n",
+        balance_error(&r.per_home, weights)
+    ));
+    push_per_home(out, r);
+    out.push_str("  },\n");
+}
+
 /// The `stress_parallel` report section: the upfront-batch multihome
 /// workload run on worker shards, with its sequential reference run and
 /// both speedup ratios (`vs_sequential`: same workload, threads as the
@@ -470,18 +579,37 @@ fn push_parallel_section(
 
 /// Renders the hot-path report as JSON (see README for the schema).
 pub fn report_json(quick: bool) -> String {
-    let (cfg, mh_cfg) = if quick {
-        (StressConfig::quick(), StressConfig::multihome_quick())
+    let (cfg, mh_cfg, w_cfg) = if quick {
+        (
+            StressConfig::quick(),
+            StressConfig::multihome_quick(),
+            StressConfig::multihome_weighted_quick(),
+        )
     } else {
-        (StressConfig::full(), StressConfig::multihome())
+        (
+            StressConfig::full(),
+            StressConfig::multihome(),
+            StressConfig::multihome_weighted(),
+        )
     };
     let r = best_of_two(&cfg);
     let mh = best_of_two(&mh_cfg);
+    let wt = best_of_two(&w_cfg);
+    if !quick {
+        // The acceptance gate on the committed entry: the full-size
+        // weighted run must track its weights or the report refuses to
+        // exist (mirrors stress_parallel's stream-equality assert).
+        let err = balance_error(&wt.per_home, w_cfg.weights.as_deref().expect("weighted"));
+        assert!(
+            err <= BALANCE_ERROR_GATE,
+            "weighted stress balance_error {err:.4} exceeds the {BALANCE_ERROR_GATE} gate"
+        );
+    }
     let threads = report_threads(mh_cfg.homes);
     let (p_seq, p_par) = stress_parallel_pair(&mh_cfg, threads);
     let figs = figure_timings(quick);
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"simcxl-hotpath/v3\",\n");
+    out.push_str("  \"schema\": \"simcxl-hotpath/v4\",\n");
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
@@ -490,6 +618,8 @@ pub fn report_json(quick: bool) -> String {
     push_stress_section(&mut out, &cfg, &r);
     out.push_str("  \"multihome\": {\n");
     push_stress_section(&mut out, &mh_cfg, &mh);
+    out.push_str("  \"multihome_weighted\": {\n");
+    push_weighted_section(&mut out, &w_cfg, &wt);
     out.push_str("  \"stress_parallel\": {\n");
     push_parallel_section(
         &mut out,
@@ -530,14 +660,118 @@ pub fn report_json(quick: bool) -> String {
     out
 }
 
+/// Workspace-root path of `BENCH_hotpath.json` (anchored via the crate
+/// manifest, so invoking `cargo run`/`cargo bench` from a subdirectory
+/// cannot fork a stray copy).
+pub fn report_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json")
+}
+
 /// Runs the report and writes `BENCH_hotpath.json` at the workspace
-/// root (anchored via the crate manifest, so invoking `cargo run`/
-/// `cargo bench` from a subdirectory cannot fork a stray copy).
+/// root.
 pub fn write_report(quick: bool) -> std::io::Result<String> {
     let json = report_json(quick);
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
-    std::fs::write(path, &json)?;
+    std::fs::write(report_path(), &json)?;
     Ok(json)
+}
+
+/// Extracts the top-level object or array named `key` from a report
+/// (brace/bracket matching over the report's own formatting — the
+/// report writer and this reader are the only JSON tooling the repo
+/// needs, so no parser dependency).
+pub fn extract_section<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)?;
+    let rest = &json[at + needle.len()..];
+    let open = rest.find(['{', '['])?;
+    let (open_ch, close_ch) = if rest.as_bytes()[open] == b'{' {
+        ('{', '}')
+    } else {
+        ('[', ']')
+    };
+    let mut depth = 0usize;
+    for (i, c) in rest[open..].char_indices() {
+        if c == open_ch {
+            depth += 1;
+        } else if c == close_ch {
+            depth -= 1;
+            if depth == 0 {
+                return Some(&rest[open..open + i + 1]);
+            }
+        }
+    }
+    None
+}
+
+/// Extracts a top-level scalar field (`"key": value`) from a report.
+pub fn extract_scalar<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)?;
+    let rest = json[at + needle.len()..].trim_start();
+    let end = rest.find([',', '\n'])?;
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Renders the human-oriented summary of a `BENCH_hotpath.json`: one
+/// block per stress variant plus the headline ratios. This is what CI
+/// prints instead of ad-hoc `python3 -c` JSON digging.
+pub fn summary(json: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "schema {} ({} mode)\n",
+        extract_scalar(json, "schema").unwrap_or("?"),
+        extract_scalar(json, "mode").unwrap_or("?"),
+    ));
+    for key in [
+        "stress",
+        "multihome",
+        "multihome_weighted",
+        "stress_parallel",
+    ] {
+        match extract_section(json, key) {
+            Some(sec) => out.push_str(&format!("\"{key}\": {sec}\n")),
+            None => out.push_str(&format!("\"{key}\": <missing>\n")),
+        }
+    }
+    if let Some(s) = extract_scalar(json, "speedup_vs_baseline") {
+        out.push_str(&format!("speedup_vs_baseline: {s}\n"));
+    }
+    out
+}
+
+/// Checks the determinism canary of a `BENCH_hotpath.json`: the
+/// `stress` checksum must equal the pinned value for the report's mode
+/// ([`PINNED_STRESS_CHECKSUM_FULL`] / [`PINNED_STRESS_CHECKSUM_QUICK`]).
+/// Returns the verified checksum, or a description of the drift.
+///
+/// This is the gating half of the CI perf step: throughput numbers stay
+/// non-gating (containers are noisy), but a moved checksum means the
+/// completion stream changed and must fail the build unless the pin is
+/// intentionally updated alongside the change.
+///
+/// # Errors
+///
+/// An explanatory message when the mode or checksum field is missing or
+/// malformed, or when the checksum does not match the pin.
+pub fn check_determinism(json: &str) -> Result<u64, String> {
+    let mode = extract_scalar(json, "mode").ok_or("report has no \"mode\" field")?;
+    let pinned = match mode {
+        "full" => PINNED_STRESS_CHECKSUM_FULL,
+        "quick" => PINNED_STRESS_CHECKSUM_QUICK,
+        other => return Err(format!("unknown report mode {other:?}")),
+    };
+    let stress = extract_section(json, "stress").ok_or("report has no \"stress\" section")?;
+    let checksum = extract_scalar(stress, "checksum").ok_or("stress section has no checksum")?;
+    let value = u64::from_str_radix(checksum.trim_start_matches("0x"), 16)
+        .map_err(|e| format!("unparsable checksum {checksum:?}: {e}"))?;
+    if value != pinned {
+        return Err(format!(
+            "stress checksum drifted: got {value:#018x}, pinned {pinned:#018x} ({mode} mode) — \
+             the completion stream changed; if intentional, update the pins in \
+             crates/bench/src/hotpath.rs"
+        ));
+    }
+    Ok(value)
 }
 
 #[cfg(test)]
@@ -583,7 +817,10 @@ mod tests {
     #[test]
     fn n1_reproduces_pre_refactor_completion_stream() {
         let r = stress(&StressConfig::quick());
-        assert_eq!(r.checksum, 0xb1e18caf05b4d6a4, "completion stream diverged");
+        assert_eq!(
+            r.checksum, PINNED_STRESS_CHECKSUM_QUICK,
+            "completion stream diverged"
+        );
         assert_eq!(r.events, 139_624);
         assert_eq!(r.completions, 20_000);
     }
@@ -591,10 +828,13 @@ mod tests {
     #[test]
     fn report_json_is_well_formed() {
         let json = report_json(true);
-        assert!(json.contains("\"schema\": \"simcxl-hotpath/v3\""));
+        assert!(json.contains("\"schema\": \"simcxl-hotpath/v4\""));
         assert!(json.contains("\"events_per_sec\""));
         assert!(json.contains("\"figures\""));
         assert!(json.contains("\"multihome\""));
+        assert!(json.contains("\"multihome_weighted\""));
+        assert!(json.contains("\"weights\": [4, 2, 1, 1]"));
+        assert!(json.contains("\"balance_error\""));
         assert!(json.contains("\"stress_parallel\""));
         assert!(json.contains("\"matches_sequential_stream\": true"));
         assert!(json.contains("\"speedup_vs_multihome\""));
@@ -605,6 +845,68 @@ mod tests {
             json.matches('}').count(),
             "unbalanced braces in report"
         );
+        // The summary/check tooling must understand its own report.
+        let s = summary(&json);
+        assert!(s.contains("\"multihome_weighted\": {"));
+        assert!(!s.contains("<missing>"), "summary lost a section:\n{s}");
+        assert_eq!(check_determinism(&json), Ok(PINNED_STRESS_CHECKSUM_QUICK));
+    }
+
+    #[test]
+    fn weighted_stress_is_deterministic_and_tracks_weights() {
+        let cfg = StressConfig::multihome_weighted_quick();
+        let a = stress(&cfg);
+        let b = stress(&cfg);
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.per_home.len(), 4);
+        let err = balance_error(&a.per_home, &StressConfig::WEIGHTED_WEIGHTS);
+        // The full-size run is gated at 0.05 in the committed JSON; the
+        // 20k-request smoke run gets statistical slack.
+        assert!(
+            err <= 0.10,
+            "weighted balance error {err} (per_home {:?})",
+            a.per_home
+        );
+    }
+
+    #[test]
+    fn balance_error_math() {
+        use simcxl_coherence::home::HomeStats;
+        let mk = |requests: u64| HomeStats {
+            requests,
+            ..HomeStats::default()
+        };
+        // Perfect 4:2:1:1 split.
+        let per = [mk(400), mk(200), mk(100), mk(100)];
+        assert!(balance_error(&per, &[4, 2, 1, 1]) < 1e-12);
+        // Home 2 at double its weight's worth of the (now larger)
+        // total: share 200/900 vs want 1/8 -> deviation 7/9.
+        let per = [mk(400), mk(200), mk(200), mk(100)];
+        let err = balance_error(&per, &[4, 2, 1, 1]);
+        assert!((err - 7.0 / 9.0).abs() < 1e-9, "err {err}");
+    }
+
+    #[test]
+    fn checksum_drift_is_detected() {
+        let json = report_json(true);
+        let good = format!("{PINNED_STRESS_CHECKSUM_QUICK:#018x}");
+        let flipped = format!("{:#018x}", PINNED_STRESS_CHECKSUM_QUICK ^ 1);
+        let bad = json.replacen(&good, &flipped, 1);
+        let err = check_determinism(&bad).unwrap_err();
+        assert!(err.contains("drifted"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn section_extractor_matches_report_layout() {
+        let json = report_json(true);
+        let stress = extract_section(&json, "stress").expect("stress section");
+        assert!(stress.starts_with('{') && stress.ends_with('}'));
+        assert!(stress.contains("\"checksum\""));
+        let figs = extract_section(&json, "figures").expect("figures array");
+        assert!(figs.starts_with('[') && figs.ends_with(']'));
+        assert_eq!(extract_scalar(&json, "mode"), Some("quick"));
+        assert!(extract_section(&json, "no_such_key").is_none());
     }
 
     /// The parallel executor must reproduce the sequential stream for

@@ -2,22 +2,83 @@
 //!
 //! ```text
 //! simcxl-report [table1|fig12|fig13|fig14|fig15|fig16|fig17|fig18|
-//!                calibration|headline|shapes|hotpath|all] [--json] [--quick]
+//!                calibration|headline|shapes|hotpath|all]
+//!               [--json] [--quick] [--summary] [--check-determinism]
+//!               [--expect-mode=full|quick]
 //! ```
 //!
 //! `hotpath` runs the event-loop stress workload; with `--json` it also
 //! writes `BENCH_hotpath.json` (see README for the schema). `--quick`
-//! selects the reduced CI smoke workload.
+//! selects the reduced CI smoke workload. Two read-only modes operate
+//! on the already-written `BENCH_hotpath.json` instead of re-running
+//! anything (both exit 2 if the file is unreadable):
+//!
+//! * `hotpath --summary` prints the per-variant summary blocks (what CI
+//!   logs instead of ad-hoc JSON digging).
+//! * `hotpath --check-determinism` verifies the `stress` checksum
+//!   against the pinned value for the report's mode and exits 1 on
+//!   drift — the gating determinism canary of the CI perf job.
+//!   `--expect-mode=quick` additionally fails (exit 1) unless the file
+//!   records that mode: CI uses it to prove the checked file was
+//!   written by *this run's* quick bench rather than falling back to
+//!   the committed full-mode file when the bench step died early.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let quick = args.iter().any(|a| a == "--quick");
+    let summary = args.iter().any(|a| a == "--summary");
+    let check = args.iter().any(|a| a == "--check-determinism");
     let arg = args
         .iter()
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "all".to_owned());
+    if summary || check {
+        if arg != "hotpath" {
+            eprintln!(
+                "--summary/--check-determinism apply to the hotpath report: \
+                 run `simcxl-report hotpath --summary|--check-determinism`"
+            );
+            std::process::exit(2);
+        }
+        let path = simcxl_bench::hotpath::report_path();
+        let report = match std::fs::read_to_string(path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        if summary {
+            print!("{}", simcxl_bench::hotpath::summary(&report));
+        }
+        if check {
+            if let Some(expect) = args
+                .iter()
+                .find_map(|a| a.strip_prefix("--expect-mode="))
+                .map(str::to_owned)
+            {
+                let mode = simcxl_bench::hotpath::extract_scalar(&report, "mode");
+                if mode != Some(expect.as_str()) {
+                    eprintln!(
+                        "determinism check FAILED: report mode is {mode:?}, expected \
+                         {expect:?} — the checked file was not produced by the \
+                         expected run (did the bench step fail before writing?)"
+                    );
+                    std::process::exit(1);
+                }
+            }
+            match simcxl_bench::hotpath::check_determinism(&report) {
+                Ok(sum) => println!("determinism ok: stress checksum {sum:#018x} matches the pin"),
+                Err(e) => {
+                    eprintln!("determinism check FAILED: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
+    }
     let run = |name: &str| {
         match name {
             "hotpath" => {

@@ -469,6 +469,20 @@ impl CacheAgent {
     }
 
     fn start_eviction(&mut self, victim: Line, now: Tick, out: &mut Outbox) {
+        if self.mshrs.contains_key(&victim.addr.raw()) {
+            // The victim's own upgrade is in flight: a resident line
+            // with an MSHR is always a clean S copy awaiting RdOwn
+            // ownership. Notifying the home would erase the directory
+            // entry the in-flight transaction rewrites (the home would
+            // drop the requester it just recorded as owner), so drop
+            // the copy silently; the grant re-installs the line through
+            // the permissive path in `upgrade_grant`.
+            debug_assert!(
+                victim.state == LineState::Shared && !victim.dirty,
+                "MSHR-pinned victim must be a clean shared copy"
+            );
+            return;
+        }
         if victim.dirty || victim.state == LineState::Modified {
             self.evictions
                 .insert(victim.addr.raw(), EvictState { dirty: true });

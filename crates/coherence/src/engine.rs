@@ -109,6 +109,32 @@ impl ProtocolEngineBuilder {
         self
     }
 
+    /// Distributes the directory across `weights.len()` home agents by
+    /// capacity-proportional weighted striping at `stride` bytes —
+    /// shorthand for `.topology(Topology::weighted(weights, stride))`.
+    /// Home `i` owns a `weights[i] / sum(weights)` share of the
+    /// stripes; equal weights are structurally the plain interleave.
+    ///
+    /// ```
+    /// use simcxl_coherence::{HomeId, ProtocolEngine};
+    /// use simcxl_mem::PhysAddr;
+    ///
+    /// // Home 0 fronts a pool twice the size of home 1's.
+    /// let eng = ProtocolEngine::builder()
+    ///     .interleave_weighted(&[2, 1], 4096)
+    ///     .build();
+    /// assert_eq!(eng.num_homes(), 2);
+    /// assert_eq!(eng.topology().home_weights(), vec![2, 1]);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid weights or stride (see [`Topology::weighted`]).
+    pub fn interleave_weighted(mut self, weights: &[u64], stride: u64) -> Self {
+        self.config.topology = Topology::weighted(weights, stride);
+        self
+    }
+
     /// Per-home configuration overrides, indexed by [`HomeId`]; the
     /// length must match the topology's home count (checked at
     /// [`build`](Self::build)).
@@ -1170,6 +1196,49 @@ mod tests {
             assert_eq!(c.value, i as u64);
         }
         eng.verify_invariants();
+    }
+
+    /// Regression: evicting a line whose own S->M upgrade is in flight
+    /// must not notify the home — the CleanEvict used to erase the
+    /// ownership the in-flight RdOwn had just established, leaving the
+    /// cache Modified while the directory said "untracked" (found by
+    /// the weighted-interleave stress seed 0xD1CE, minimized here: all
+    /// of lines 2/194/418/450/226 land in set 2 of the 8 KB 4-way
+    /// cache, so the four fills after the upgrade victimize line 194
+    /// while its RdOwn is outstanding).
+    #[test]
+    fn upgrade_in_flight_survives_conflict_eviction() {
+        let mut eng = ProtocolEngine::builder()
+            .topology(Topology::line_interleaved(4))
+            .build();
+        let a = eng.add_cache(CacheConfig {
+            size_bytes: 8 * 1024,
+            ..CacheConfig::hmc_128k()
+        });
+        let b = eng.add_cache(CacheConfig {
+            size_bytes: 8 * 1024,
+            ..CacheConfig::hmc_128k()
+        });
+        let at = |ps: u64| Tick::from_ps(ps);
+        let line = |n: u64| PhysAddr::new(n * 64);
+        eng.issue(a, MemOp::Load, line(194), at(56_004));
+        eng.issue(b, MemOp::Load, line(194), at(558_513));
+        eng.issue(a, MemOp::Store { value: 1 }, line(2), at(1_538_148));
+        // The upgrade: `a` holds 194 in S (shared with `b`).
+        eng.issue(a, MemOp::Store { value: 2 }, line(194), at(1_578_660));
+        // Three more set-2 fills while the RdOwn is in flight.
+        let rmw = MemOp::Rmw {
+            kind: AtomicKind::FetchAdd,
+            operand: 1,
+            operand2: 0,
+        };
+        eng.issue(a, rmw, line(418), at(1_632_861));
+        eng.issue(a, MemOp::Load, line(450), at(1_644_570));
+        eng.issue(a, rmw, line(226), at(1_715_138));
+        let done = eng.run_to_quiescence();
+        assert_eq!(done.len(), 7);
+        eng.verify_invariants();
+        assert_eq!(eng.func_mem().read_u64(line(194)), 2);
     }
 
     fn mem_agent_with(ranges: &[(u64, u64, u64)]) -> MemAgent {

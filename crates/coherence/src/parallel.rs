@@ -127,15 +127,73 @@ enum Child {
     },
 }
 
-/// Where an event with destination `dst` executes: `Some(shard)` for
-/// cache/home events, `None` for coordinator-owned memory events.
-fn dest_shard(dst: AgentId, home: crate::topology::HomeId, nshards: usize) -> Option<usize> {
-    if dst == AgentId::HOME {
-        Some(home.index() % nshards)
-    } else if dst == AgentId::MEMORY {
-        None
-    } else {
-        Some((dst.index() - 2) % nshards)
+/// The agent-to-shard assignment of one parallel run.
+///
+/// Caches are dealt round-robin (they are interchangeable load-wise),
+/// but homes are **balanced by cumulative topology weight**: under a
+/// weighted interleave ([`Topology::weighted`]) the heavy homes carry
+/// proportionally more directory traffic, and piling them onto one
+/// worker would serialize exactly the load the weighting predicts. The
+/// greedy LPT pack (heaviest home first, always onto the least-loaded
+/// shard, ties to the lowest index) keeps per-shard weight within one
+/// home of optimal; with uniform weights it degenerates to the
+/// round-robin `home % nshards` of the unweighted executor, so existing
+/// configurations shard exactly as before.
+///
+/// The assignment only moves *where* events execute, never their merged
+/// `(tick, seq)` order, so the completion stream is unaffected either
+/// way — this is purely a wall-clock lever.
+struct ShardMap {
+    nshards: usize,
+    /// Home index -> owning shard.
+    home_shard: Vec<u32>,
+    /// Home index -> position within its shard's local home vector.
+    home_local: Vec<u32>,
+    /// Shard -> home indices it owns, in home-index order (the order
+    /// homes are drained into the shard, and back out of it).
+    by_shard: Vec<Vec<u32>>,
+}
+
+impl ShardMap {
+    fn new(topo: &Topology, nshards: usize) -> Self {
+        let weights = topo.home_weights();
+        let mut order: Vec<usize> = (0..weights.len()).collect();
+        // Heaviest first; the sort is stable, so equal weights keep
+        // home-index order (which is what makes the uniform case
+        // collapse to round-robin).
+        order.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
+        let mut load = vec![0u64; nshards];
+        let mut home_shard = vec![0u32; weights.len()];
+        for &h in &order {
+            let s = (0..nshards).min_by_key(|&s| (load[s], s)).expect("shards");
+            home_shard[h] = s as u32;
+            load[s] += weights[h];
+        }
+        let mut by_shard = vec![Vec::new(); nshards];
+        let mut home_local = vec![0u32; weights.len()];
+        for (h, &s) in home_shard.iter().enumerate() {
+            home_local[h] = by_shard[s as usize].len() as u32;
+            by_shard[s as usize].push(h as u32);
+        }
+        ShardMap {
+            nshards,
+            home_shard,
+            home_local,
+            by_shard,
+        }
+    }
+
+    /// Where an event with destination `dst` executes: `Some(shard)`
+    /// for cache/home events, `None` for coordinator-owned memory
+    /// events.
+    fn dest_shard(&self, dst: AgentId, home: crate::topology::HomeId) -> Option<usize> {
+        if dst == AgentId::HOME {
+            Some(self.home_shard[home.index()] as usize)
+        } else if dst == AgentId::MEMORY {
+            None
+        } else {
+            Some((dst.index() - 2) % self.nshards)
+        }
     }
 }
 
@@ -210,6 +268,7 @@ impl Shard {
     fn run_phase(
         &mut self,
         topo: &Topology,
+        map: &ShardMap,
         window_end: Tick,
         mailbox: &mut Vec<(Tick, u64, ShardEv)>,
     ) {
@@ -242,13 +301,13 @@ impl Shard {
                 (t, Origin::Queue { seq }, ev)
             };
             let first_child = self.children.len();
-            self.process(ev, tick, topo);
+            self.process(ev, tick, topo, map);
             let children = (self.children.len() - first_child) as u32;
             for idx in first_child..self.children.len() {
                 let (ct, c) = self.children[idx];
                 if ct <= window_end {
                     if let Child::Deliver { dst, msg, .. } = c {
-                        if dest_shard(dst, msg.home, self.nshards) == Some(self.index) {
+                        if map.dest_shard(dst, msg.home) == Some(self.index) {
                             self.self_heap.push(Reverse((ct.as_ps(), idx as u32)));
                         }
                     }
@@ -264,7 +323,7 @@ impl Shard {
     }
 
     /// Dispatches one event to the owning agent, recording its emissions.
-    fn process(&mut self, ev: ShardEv, now: Tick, topo: &Topology) {
+    fn process(&mut self, ev: ShardEv, now: Tick, topo: &Topology, map: &ShardMap) {
         match ev {
             ShardEv::Issue {
                 req,
@@ -280,7 +339,7 @@ impl Shard {
             }
             ShardEv::Deliver { dst, msg, level } => {
                 if dst == AgentId::HOME {
-                    let local = msg.home.index() / self.nshards;
+                    let local = map.home_local[msg.home.index()] as usize;
                     let mut out = std::mem::take(&mut self.home_outbox);
                     out.msgs.clear();
                     self.homes[local].handle_msg(msg, now, &mut out);
@@ -339,7 +398,7 @@ impl Shard {
 
 /// Coordinator-side merge scratch, reused across windows.
 struct MergeState<'a> {
-    nshards: usize,
+    map: &'a ShardMap,
     window_end: Tick,
     mailboxes: &'a [Mailbox],
     /// Earliest undelivered mailbox tick per shard (coordinator-side).
@@ -369,7 +428,7 @@ impl MergeState<'_> {
             Child::Complete { req, level } => {
                 self.push_coord(tick, seq, CoordEv::Complete { req, level });
             }
-            Child::Deliver { dst, msg, level } => match dest_shard(dst, msg.home, self.nshards) {
+            Child::Deliver { dst, msg, level } => match self.map.dest_shard(dst, msg.home) {
                 None => self.push_coord(tick, seq, CoordEv::Mem { msg }),
                 Some(d) => {
                     if tick <= self.window_end {
@@ -409,10 +468,12 @@ impl ProtocolEngine {
         debug_assert!(w > Tick::ZERO, "engaged without lookahead");
         self.parallel_runs += 1;
         let topo = self.topology().clone();
+        let map = ShardMap::new(&topo, nshards);
 
-        // Distribute agents and pending events over the shards. Events
-        // keep their already-assigned sequence numbers, so per-shard
-        // queues pop their slices of the stream in global order.
+        // Distribute agents and pending events over the shards (caches
+        // round-robin, homes weight-balanced by the map). Events keep
+        // their already-assigned sequence numbers, so per-shard queues
+        // pop their slices of the stream in global order.
         let n_caches = self.caches.len();
         let n_homes = self.homes.len();
         let mut shards: Vec<Shard> = (0..nshards).map(|i| Shard::new(i, nshards)).collect();
@@ -420,7 +481,7 @@ impl ProtocolEngine {
             shards[i % nshards].caches.push(c);
         }
         for (i, h) in self.homes.drain(..).enumerate() {
-            shards[i % nshards].homes.push(h);
+            shards[map.home_shard[i] as usize].homes.push(h);
         }
         let mut coord_q: EventQueue<CoordEv> = EventQueue::new();
         while let Some((tick, seq, ev)) = self.queue.pop_seq() {
@@ -439,7 +500,7 @@ impl ProtocolEngine {
                         },
                     );
                 }
-                Ev::Deliver { dst, msg, level } => match dest_shard(dst, msg.home, nshards) {
+                Ev::Deliver { dst, msg, level } => match map.dest_shard(dst, msg.home) {
                     Some(s) => {
                         shards[s]
                             .queue
@@ -468,7 +529,7 @@ impl ProtocolEngine {
         std::thread::scope(|scope| {
             for mailbox_and_shard in shards.iter().zip(&mailboxes).skip(1) {
                 let (shard, mailbox) = mailbox_and_shard;
-                let (barrier, window_end_ps, topo) = (&barrier, &window_end_ps, &topo);
+                let (barrier, window_end_ps, topo, map) = (&barrier, &window_end_ps, &topo, &map);
                 scope.spawn(move || {
                     let mut seen = 0;
                     while let Some(epoch) = barrier.await_phase(seen) {
@@ -476,7 +537,7 @@ impl ProtocolEngine {
                         let end = Tick::from_ps(window_end_ps.load(Ordering::Acquire));
                         let mut s = shard.lock().expect("shard poisoned");
                         let mut m = mailbox.lock().expect("mailbox poisoned");
-                        s.run_phase(topo, end, &mut m);
+                        s.run_phase(topo, map, end, &mut m);
                         drop(m);
                         drop(s);
                         barrier.arrive();
@@ -508,7 +569,7 @@ impl ProtocolEngine {
                         // The coordinator doubles as shard 0's worker.
                         let mut s = shards[0].lock().expect("shard poisoned");
                         let mut m = mailboxes[0].lock().expect("mailbox poisoned");
-                        s.run_phase(&topo, window_end, &mut m);
+                        s.run_phase(&topo, &map, window_end, &mut m);
                     }
                     barrier.await_workers();
                     // Every shard drained its mailbox during the phase.
@@ -518,7 +579,7 @@ impl ProtocolEngine {
                         .map(|s| s.lock().expect("shard poisoned"))
                         .collect();
                     let mut st = MergeState {
-                        nshards,
+                        map: &map,
                         window_end,
                         mailboxes: &mailboxes,
                         mb_min: &mut mb_min,
@@ -535,7 +596,7 @@ impl ProtocolEngine {
                     // no shard has work before the horizon, so skip the
                     // barrier round entirely.
                     let mut st = MergeState {
-                        nshards,
+                        map: &map,
                         window_end,
                         mailboxes: &mailboxes,
                         mb_min: &mut mb_min,
@@ -561,7 +622,7 @@ impl ProtocolEngine {
                 caches[local * nshards + s] = Some(c);
             }
             for (local, h) in shard.homes.drain(..).enumerate() {
-                homes[local * nshards + s] = Some(h);
+                homes[map.by_shard[s][local] as usize] = Some(h);
             }
             while let Some((tick, seq, ev)) = shard.queue.pop_seq() {
                 self.queue.push_at_seq(tick, seq, unshard_ev(ev));
@@ -853,6 +914,85 @@ mod tests {
         drive(&mut par, 3, 50);
         let _ = par.run_to_quiescence();
         assert_eq!(par.parallel_runs(), 0);
+    }
+
+    #[test]
+    fn shard_map_uniform_weights_are_round_robin() {
+        // The unweighted executor's `home % nshards` mapping must fall
+        // out of the LPT pack when weights are uniform — existing
+        // configurations shard exactly as before.
+        let map = super::ShardMap::new(&Topology::line_interleaved(8), 3);
+        let expect: Vec<u32> = (0..8).map(|h| h % 3).collect();
+        assert_eq!(map.home_shard, expect);
+        for h in 0..8usize {
+            assert_eq!(map.home_local[h] as usize, h / 3);
+        }
+    }
+
+    #[test]
+    fn shard_map_balances_cumulative_weight() {
+        // 4:2:1:1 over two shards: the heavy home alone on one shard
+        // (weight 4), the other three together (weight 4) — not the
+        // round-robin {4+1, 2+1} split.
+        let map = super::ShardMap::new(&Topology::weighted(&[4, 2, 1, 1], 64), 2);
+        assert_eq!(map.home_shard, vec![0, 1, 1, 1]);
+        let weights = [4u64, 2, 1, 1];
+        let load: Vec<u64> = (0..2)
+            .map(|s| {
+                (0..4)
+                    .filter(|&h| map.home_shard[h] == s)
+                    .map(|h| weights[h])
+                    .sum()
+            })
+            .collect();
+        assert_eq!(load, vec![4, 4]);
+        // Local slots follow home-index order within each shard.
+        assert_eq!(map.home_local, vec![0, 0, 1, 2]);
+        assert_eq!(map.by_shard, vec![vec![0], vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn parallel_stream_equals_sequential_on_weighted_topology() {
+        // The full contract on a skewed 4:2:1:1 weighted interleave —
+        // covers the weight-balanced shard map end to end.
+        for threads in [2, 3, 4] {
+            let build_weighted = |parallel: Option<ParallelConfig>| {
+                let mut b = ProtocolEngine::builder().interleave_weighted(&[4, 2, 1, 1], 64);
+                if let Some(p) = parallel {
+                    b = b.parallel_config(p);
+                }
+                let mut eng = b.build();
+                for i in 0..4 {
+                    let cfg = if i % 2 == 0 {
+                        CacheConfig {
+                            size_bytes: 12 * 1024,
+                            ..CacheConfig::cpu_l1()
+                        }
+                    } else {
+                        CacheConfig {
+                            size_bytes: 8 * 1024,
+                            ..CacheConfig::hmc_128k()
+                        }
+                    };
+                    eng.add_cache(cfg);
+                }
+                eng
+            };
+            let mut seq = build_weighted(None);
+            let mut par = build_weighted(Some(ParallelConfig::always(threads)));
+            drive(&mut seq, 0xD1CE, 1_200);
+            drive(&mut par, 0xD1CE, 1_200);
+            let a = seq.run_to_quiescence();
+            let b = par.run_to_quiescence();
+            assert!(par.parallel_runs() > 0, "parallel path never engaged");
+            seq.verify_invariants();
+            streams_equal(&a, &b);
+            assert_eq!(seq.events_dispatched(), par.events_dispatched());
+            par.verify_invariants();
+            for h in 0..4 {
+                assert_eq!(seq.home_stats_for(HomeId(h)), par.home_stats_for(HomeId(h)));
+            }
+        }
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub struct CohetSystem {
     expander_mem: Option<u64>,
     homes: usize,
     interleave_stride: u64,
+    home_weights: Option<Vec<u64>>,
     parallel_threads: usize,
 }
 
@@ -58,6 +59,7 @@ pub struct CohetSystemBuilder {
     expander_mem: Option<u64>,
     homes: usize,
     interleave_stride: u64,
+    home_weights: Option<Vec<u64>>,
     parallel_threads: usize,
 }
 
@@ -71,6 +73,7 @@ impl Default for CohetSystemBuilder {
             expander_mem: None,
             homes: 1,
             interleave_stride: cohet_os::PAGE_SIZE,
+            home_weights: None,
             parallel_threads: 1,
         }
     }
@@ -165,6 +168,45 @@ impl CohetSystemBuilder {
         self
     }
 
+    /// Stripes the directory across the host-socket homes with
+    /// capacity-proportional *weights* instead of the uniform
+    /// interleave: home `i` owns a `weights[i] / sum(weights)` share of
+    /// the stripes (at the [`interleave`](Self::interleave) stride).
+    /// The weight count must match [`homes`](Self::homes).
+    ///
+    /// With an expander attached, the expander home joins the weighted
+    /// stripe with an **auto-derived weight proportional to its
+    /// capacity** (rounded against the host bytes-per-weight-unit,
+    /// minimum 1) — so a small expander gets a few stripes of directory
+    /// traffic instead of a whole dedicated home, and the parallel
+    /// executor can balance shards on real load shares.
+    ///
+    /// ```
+    /// use cohet::prelude::*;
+    ///
+    /// // Two host homes splitting 256 MB as 3:1, plus a 64 MB expander:
+    /// // the expander's auto-weight is 64 MB / (256 MB / 4) = 1.
+    /// let proc = CohetSystem::builder()
+    ///     .homes(2)
+    ///     .interleave_weighted(vec![3, 1])
+    ///     .expander_memory(64 << 20)
+    ///     .build()
+    ///     .spawn_process();
+    /// assert_eq!(proc.engine().num_homes(), 3);
+    /// assert_eq!(proc.engine().topology().home_weights(), vec![3, 1, 1]);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// `spawn_process` panics if the weight count differs from the home
+    /// count, or on invalid weights (see
+    /// [`Topology::weighted`](simcxl_coherence::Topology::weighted)).
+    pub fn interleave_weighted(mut self, weights: Vec<u64>) -> Self {
+        assert!(!weights.is_empty(), "need at least one weight");
+        self.home_weights = Some(weights);
+        self
+    }
+
     /// Runs the coherence engine's event loop on `threads` parallel
     /// worker shards (default 1: sequential). Simulation results are
     /// *identical* at every thread count — the parallel executor
@@ -204,6 +246,7 @@ impl CohetSystemBuilder {
             expander_mem: self.expander_mem,
             homes: self.homes,
             interleave_stride: self.interleave_stride,
+            home_weights: self.home_weights,
             parallel_threads: self.parallel_threads,
         }
     }
@@ -256,8 +299,27 @@ impl CohetSystem {
         // Directory distribution: N host-socket homes interleave the
         // address space; an expander's memory is homed on its own agent
         // (the switch routes its range to the device-side directory).
-        // homes == 1 keeps the legacy monolithic-home shape.
-        let topology = if self.homes == 1 {
+        // With weights set, host homes stripe proportionally and the
+        // expander home joins the stripe at a capacity-derived weight
+        // instead of claiming its whole range. homes == 1 keeps the
+        // legacy monolithic-home shape.
+        let topology = if let Some(weights) = &self.home_weights {
+            assert_eq!(
+                weights.len(),
+                self.homes,
+                "interleave_weighted needs one weight per host home"
+            );
+            let mut weights = weights.clone();
+            if let Some(range) = expander_range {
+                // Capacity per host weight unit decides the expander's
+                // stripe share; a tiny expander still gets one stripe.
+                let unit: u64 = weights.iter().sum();
+                let w = (range.size() as u128 * unit as u128 + (self.host_mem / 2) as u128)
+                    / self.host_mem as u128;
+                weights.push((w as u64).max(1));
+            }
+            Topology::weighted(&weights, self.interleave_stride)
+        } else if self.homes == 1 {
             Topology::single()
         } else if let Some(range) = expander_range {
             Topology::ranges(
@@ -745,6 +807,51 @@ mod tests {
         let mut p = proc();
         let e = p.read_u64(VirtAddr::new(0x10)).unwrap_err();
         assert!(matches!(e, CohetError::Os(OsError::Segfault(_))));
+    }
+
+    #[test]
+    fn weighted_homes_stripe_proportionally() {
+        let p = CohetSystem::builder()
+            .homes(2)
+            .interleave_weighted(vec![3, 1])
+            .build()
+            .spawn_process();
+        let topo = p.engine().topology();
+        assert_eq!(p.engine().num_homes(), 2);
+        assert_eq!(topo.home_weights(), vec![3, 1]);
+    }
+
+    #[test]
+    fn weighted_expander_auto_weight_tracks_capacity() {
+        // 256 MB host split 1:1 over two homes (128 MB per weight unit);
+        // a 128 MB expander should auto-weight to exactly 1 unit and a
+        // 512 MB one to 4.
+        let small = CohetSystem::builder()
+            .homes(2)
+            .host_memory(256 << 20)
+            .interleave_weighted(vec![1, 1])
+            .expander_memory(128 << 20)
+            .build()
+            .spawn_process();
+        assert_eq!(small.engine().topology().home_weights(), vec![1, 1, 1]);
+        let big = CohetSystem::builder()
+            .homes(2)
+            .host_memory(256 << 20)
+            .interleave_weighted(vec![1, 1])
+            .expander_memory(512 << 20)
+            .build()
+            .spawn_process();
+        assert_eq!(big.engine().topology().home_weights(), vec![1, 1, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per host home")]
+    fn weighted_count_mismatch_rejected() {
+        let _ = CohetSystem::builder()
+            .homes(4)
+            .interleave_weighted(vec![1, 2])
+            .build()
+            .spawn_process();
     }
 
     #[test]

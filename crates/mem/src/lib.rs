@@ -14,6 +14,6 @@ pub mod addr;
 pub mod dram;
 pub mod iface;
 
-pub use addr::{AddrRange, Interleave, PhysAddr, CACHELINE_BYTES};
+pub use addr::{gcd, AddrRange, Interleave, PhysAddr, WeightedInterleave, CACHELINE_BYTES};
 pub use dram::{DramConfig, DramKind, DramModel};
 pub use iface::{MemoryId, MemoryInterface};

@@ -1,0 +1,104 @@
+//! Weighted capacity-proportional interleaving: a big host next to a
+//! small expander.
+//!
+//! A 4 GB host DRAM pool and a 1 GB CXL Type-3 expander share one
+//! directory, striped 4:1 by `Topology::capacity_weighted` — the host
+//! home owns four of every five stripes instead of either extreme the
+//! older policies force (uniform interleave: half the directory on the
+//! small pool's agent; range table: the expander's agent idle unless
+//! its range is touched). Uniform traffic over the whole space then
+//! reaches each home in proportion to the capacity it fronts, which the
+//! per-home statistics (and the same `balance_error` metric the
+//! `multihome_weighted` entry of `BENCH_hotpath.json` gates on) make
+//! visible at the end.
+//!
+//! Run with: `cargo run --example weighted_pools`
+
+use sim_core::{SimRng, Tick};
+use simcxl_coherence::prelude::*;
+use simcxl_mem::{AddrRange, DramConfig, DramKind, MemoryInterface, PhysAddr};
+
+const G: u64 = 1 << 30;
+const HOST_BYTES: u64 = 4 * G; // [0, 4G): host DDR5
+const EXPANDER_BASE: u64 = 4 * G; // [4G, 5G): CXL Type-3 expander
+const EXPANDER_BYTES: u64 = G;
+
+fn main() {
+    // Physical memory: the host pool plus the expander behind its
+    // CXL.mem link latency.
+    let mut mi = MemoryInterface::new();
+    mi.add_memory(
+        AddrRange::new(PhysAddr::new(0), HOST_BYTES),
+        DramConfig::preset(DramKind::Ddr5_4400),
+        Tick::ZERO,
+    );
+    mi.add_memory(
+        AddrRange::new(PhysAddr::new(EXPANDER_BASE), EXPANDER_BYTES),
+        DramConfig::preset(DramKind::Ddr5_4400),
+        Tick::from_ns(120),
+    );
+
+    // Two homes weighted by pool capacity: 4G:1G reduces to 4:1, so the
+    // stripe pattern repeats every five 4 KiB stripes with home 0
+    // owning four of them.
+    let topology = Topology::capacity_weighted(&[HOST_BYTES, EXPANDER_BYTES], 4096);
+    let weights = topology.home_weights();
+    assert_eq!(weights, vec![4, 1]);
+    let mut eng = ProtocolEngine::builder()
+        .memory(mi)
+        .topology(topology)
+        .build();
+    let cpu = eng.add_cache(CacheConfig::cpu_l1());
+    let xpu = eng.add_cache(CacheConfig::hmc_128k());
+
+    // Uniform mixed traffic over the host pool's first gigabyte: the
+    // address distribution is flat, so directory load per home should
+    // track the 4:1 stripe shares, not the home count.
+    let mut rng = SimRng::new(0xBEEF);
+    let mut t = Tick::ZERO;
+    for i in 0..4_000u64 {
+        let agent = if i % 2 == 0 { cpu } else { xpu };
+        let addr = PhysAddr::new((rng.below(G / 64)) * 64);
+        let op = match rng.below(4) {
+            0 => MemOp::Load,
+            1 => MemOp::Store { value: i },
+            2 => MemOp::Rmw {
+                kind: AtomicKind::FetchAdd,
+                operand: 1,
+                operand2: 0,
+            },
+            _ => MemOp::NcPush { value: i },
+        };
+        eng.issue(agent, op, addr, t);
+        t += Tick::from_ns(25);
+    }
+    eng.run_to_quiescence();
+    eng.verify_invariants();
+
+    let total_w: u64 = weights.iter().sum();
+    let total_req: u64 = (0..eng.num_homes())
+        .map(|h| eng.home_stats_for(HomeId(h)).requests)
+        .sum();
+    println!("weighted 4:1 host+expander run complete at {}", eng.now());
+    println!("  home  role       weight  requests  share   target");
+    let roles = ["host", "expander"];
+    let mut worst = 0.0f64;
+    for (h, role) in roles.iter().enumerate() {
+        let s = eng.home_stats_for(HomeId(h));
+        let share = s.requests as f64 / total_req as f64;
+        let target = weights[h] as f64 / total_w as f64;
+        worst = worst.max((share - target).abs() / target);
+        println!(
+            "  {h:<5} {role:<10} {:>6}  {:>8}  {:>5.1}%  {:>5.1}%",
+            weights[h],
+            s.requests,
+            share * 100.0,
+            target * 100.0
+        );
+    }
+    println!("max relative deviation from weight share: {worst:.3}");
+    assert!(
+        worst < 0.10,
+        "directory traffic should track capacity shares (got {worst:.3})"
+    );
+}

@@ -182,6 +182,92 @@ proptest! {
         prop_assert_eq!(table.home_for(PhysAddr::new(addr)), pow2.home_for(PhysAddr::new(addr)));
     }
 
+    /// The weighted interleave partitions the address space: every
+    /// address maps to exactly one home with index `< homes`, the O(1)
+    /// pattern-table lookup agrees with the brute-force
+    /// stripe-mod-period reference, and each home owns exactly its
+    /// weight's worth of every pattern repeat.
+    #[test]
+    fn topology_weighted_partitions_address_space(
+        addr in any::<u64>(),
+        weights in prop::collection::vec(1u64..8, 1..6),
+        stride_log2 in 6u32..13,
+    ) {
+        let stride = 1u64 << stride_log2;
+        let t = Topology::weighted(&weights, stride);
+        let h = t.home_for(PhysAddr::new(addr));
+        prop_assert!(h.index() < weights.len(), "home {h:?} out of range");
+        // Brute-force reference: expand one pattern period by walking
+        // stripes 0..period and counting ownership.
+        let norm = t.home_weights();
+        let period: u64 = norm.iter().sum();
+        let pattern: Vec<usize> = (0..period)
+            .map(|s| t.home_for(PhysAddr::new(s.wrapping_mul(stride))).index())
+            .collect();
+        let stripe = addr / stride;
+        prop_assert_eq!(h.index(), pattern[(stripe % period) as usize]);
+        for (i, &w) in norm.iter().enumerate() {
+            prop_assert_eq!(pattern.iter().filter(|&&p| p == i).count() as u64, w,
+                "home {i} owns the wrong stripe count in {pattern:?}");
+        }
+    }
+
+    /// Equal weight vectors degenerate to the pow2 interleave —
+    /// structurally equal topologies, hence identical routing (and
+    /// identical completion streams for equal-weight configs).
+    #[test]
+    fn topology_weighted_equal_weights_degenerate_to_interleaved(
+        addr in any::<u64>(),
+        w in 1u64..100,
+        homes_log2 in 0u32..5,
+        stride_log2 in 6u32..13,
+    ) {
+        let homes = 1usize << homes_log2;
+        let stride = 1u64 << stride_log2;
+        let weighted = Topology::weighted(&vec![w; homes], stride);
+        let plain = Topology::interleaved(homes, stride);
+        prop_assert_eq!(&weighted, &plain, "equal weights must degenerate structurally");
+        prop_assert_eq!(
+            weighted.home_for(PhysAddr::new(addr)),
+            plain.home_for(PhysAddr::new(addr))
+        );
+    }
+
+    /// Differential: a range table built by expanding the weighted
+    /// stripe pattern claim-by-claim (same weights, same stride) agrees
+    /// with the weighted policy on every address of the expanded
+    /// region — the two formulations of capacity-proportional homing
+    /// are interchangeable.
+    #[test]
+    fn topology_weighted_agrees_with_ranges_expansion(
+        addr in 0u64..(1 << 18),
+        weights in prop::collection::vec(1u64..5, 2..5),
+        stride_log2 in 9u32..13,
+    ) {
+        let stride = 1u64 << stride_log2;
+        let homes = weights.len();
+        let weighted = Topology::weighted(&weights, stride);
+        // Expand the pattern over the low 256 KiB as explicit claims;
+        // the fallback interleaves over a pow2 home prefix but is never
+        // consulted inside the claimed region.
+        let mut claims = Vec::new();
+        let mut base = 0u64;
+        while base < (1 << 18) {
+            claims.push((
+                simcxl_mem::AddrRange::new(PhysAddr::new(base), stride),
+                weighted.home_for(PhysAddr::new(base)),
+            ));
+            base += stride;
+        }
+        let fallback_homes = 1 << homes.ilog2(); // pow2 prefix
+        let table = Topology::ranges(homes, claims, fallback_homes, stride);
+        prop_assert_eq!(
+            table.home_for(PhysAddr::new(addr)),
+            weighted.home_for(PhysAddr::new(addr)),
+            "range expansion diverged from the weighted policy"
+        );
+    }
+
     /// Random traffic against a multi-home engine reaches quiescence
     /// with the directory invariants intact (which include: every line
     /// tracked at exactly the home owning it, and by no other home).
@@ -225,18 +311,22 @@ proptest! {
     #[test]
     fn parallel_stream_equals_sequential_for_random_topologies(
         homes_log2 in 0u32..3,
-        use_range_table in any::<bool>(),
+        topo_kind in 0u8..3,
+        weights in prop::collection::vec(1u64..5, 4),
         threads in 2usize..5,
         ops in prop::collection::vec((0u8..5, 0u64..24, any::<u16>()), 1..120)
     ) {
         let homes = 1usize << homes_log2;
-        let topology = if use_range_table && homes > 1 {
-            // Claim a window of the traffic range for the last home;
-            // the rest falls back to a line interleave.
-            let claim = simcxl_mem::AddrRange::new(PhysAddr::new(0x4000), 8 * 64);
-            Topology::ranges(homes, vec![(claim, HomeId(homes - 1))], homes, 64)
-        } else {
-            Topology::line_interleaved(homes)
+        let topology = match topo_kind {
+            1 if homes > 1 => {
+                // Claim a window of the traffic range for the last home;
+                // the rest falls back to a line interleave.
+                let claim = simcxl_mem::AddrRange::new(PhysAddr::new(0x4000), 8 * 64);
+                Topology::ranges(homes, vec![(claim, HomeId(homes - 1))], homes, 64)
+            }
+            // Skewed weighted stripes (the weight-balanced shard map).
+            2 => Topology::weighted(&weights[..homes], 64),
+            _ => Topology::line_interleaved(homes),
         };
         let build = |parallel: bool| {
             let mut b = ProtocolEngine::builder().topology(topology.clone());
