@@ -154,9 +154,11 @@ pub struct StressResult {
     /// Order-sensitive digest of the completion stream; identical runs
     /// must produce identical checksums (determinism canary).
     pub checksum: u64,
-    /// Per-home directory statistics, indexed by `HomeId`; length 1 for
-    /// the single-home configuration. Exposes interleave imbalance.
-    pub per_home: Vec<simcxl_coherence::home::HomeStats>,
+    /// Per-home directory statistics snapshot (length 1 for the
+    /// single-home configuration), carrying the topology's load weights
+    /// alongside the counters. Exposes interleave imbalance via
+    /// [`HomeStatsView::balance_error`].
+    pub per_home: HomeStatsView,
 }
 
 impl StressResult {
@@ -265,26 +267,12 @@ fn fold_checksum(acc: u64, c: &Completion) -> u64 {
 pub const BALANCE_ERROR_GATE: f64 = 0.05;
 
 /// Maximum relative deviation of per-home request traffic from its
-/// weight share: `max_i |share_i - w_i/sum(w)| / (w_i/sum(w))` over the
-/// per-home `requests` counters. `0.0` is perfect
-/// capacity-proportional balance; the full-mode report asserts
-/// [`BALANCE_ERROR_GATE`] before writing.
+/// weight share (see [`HomeStatsView::balance_error`], which owns the
+/// math — this wrapper pairs recorded counters with an explicit weight
+/// vector). `0.0` is perfect capacity-proportional balance; the
+/// full-mode report asserts [`BALANCE_ERROR_GATE`] before writing.
 pub fn balance_error(per_home: &[simcxl_coherence::home::HomeStats], weights: &[u64]) -> f64 {
-    assert_eq!(per_home.len(), weights.len());
-    let total_req: u64 = per_home.iter().map(|s| s.requests).sum();
-    let total_w: u64 = weights.iter().sum();
-    if total_req == 0 {
-        return 0.0;
-    }
-    per_home
-        .iter()
-        .zip(weights)
-        .map(|(s, &w)| {
-            let share = s.requests as f64 / total_req as f64;
-            let want = w as f64 / total_w as f64;
-            (share - want).abs() / want
-        })
-        .fold(0.0, f64::max)
+    HomeStatsView::new(per_home.to_vec(), weights.to_vec()).balance_error()
 }
 
 /// Runs the stress workload and reports wall-clock throughput.
@@ -324,9 +312,7 @@ pub fn stress(cfg: &StressConfig) -> StressResult {
         completions,
         wall_secs,
         checksum,
-        per_home: (0..eng.num_homes())
-            .map(|h| eng.home_stats_for(HomeId(h)))
-            .collect(),
+        per_home: eng.home_stats_view(),
     }
 }
 
@@ -372,9 +358,7 @@ pub fn stress_upfront(cfg: &StressConfig, threads: usize) -> StressResult {
         completions,
         wall_secs,
         checksum,
-        per_home: (0..eng.num_homes())
-            .map(|h| eng.home_stats_for(HomeId(h)))
-            .collect(),
+        per_home: eng.home_stats_view(),
     }
 }
 
@@ -462,16 +446,21 @@ fn best_of_two(cfg: &StressConfig) -> StressResult {
 // makes interleave imbalance visible at a glance.
 fn push_per_home(out: &mut String, r: &StressResult) {
     out.push_str("    \"per_home\": [\n");
-    for (h, s) in r.per_home.iter().enumerate() {
+    for (h, s) in r.per_home.iter() {
         out.push_str(&format!(
-            "      {{\"home\": {h}, \"requests\": {}, \"llc_hits\": {}, \"mem_fetches\": {}, \"snoops_sent\": {}, \"write_pulls\": {}, \"ncp_pushes\": {}}}{}\n",
+            "      {{\"home\": {}, \"requests\": {}, \"llc_hits\": {}, \"mem_fetches\": {}, \"snoops_sent\": {}, \"write_pulls\": {}, \"ncp_pushes\": {}}}{}\n",
+            h.index(),
             s.requests,
             s.llc_hits,
             s.mem_fetches,
             s.snoops_sent,
             s.write_pulls,
             s.ncp_pushes,
-            if h + 1 < r.per_home.len() { "," } else { "" }
+            if h.index() + 1 < r.per_home.len() {
+                ","
+            } else {
+                ""
+            }
         ));
     }
     out.push_str("    ]\n");
@@ -520,7 +509,7 @@ fn push_weighted_section(out: &mut String, cfg: &StressConfig, r: &StressResult)
     out.push_str(&format!("    \"checksum\": \"{:#018x}\",\n", r.checksum));
     out.push_str(&format!(
         "    \"balance_error\": {:.4},\n",
-        balance_error(&r.per_home, weights)
+        r.per_home.balance_error()
     ));
     push_per_home(out, r);
     out.push_str("  },\n");
@@ -599,7 +588,7 @@ pub fn report_json(quick: bool) -> String {
         // The acceptance gate on the committed entry: the full-size
         // weighted run must track its weights or the report refuses to
         // exist (mirrors stress_parallel's stream-equality assert).
-        let err = balance_error(&wt.per_home, w_cfg.weights.as_deref().expect("weighted"));
+        let err = wt.per_home.balance_error();
         assert!(
             err <= BALANCE_ERROR_GATE,
             "weighted stress balance_error {err:.4} exceeds the {BALANCE_ERROR_GATE} gate"
@@ -804,7 +793,7 @@ mod tests {
         assert_eq!(a.events, b.events);
         assert_eq!(a.per_home.len(), 4);
         // Line interleave must put directory traffic on every shard.
-        for (h, s) in a.per_home.iter().enumerate() {
+        for (h, s) in a.per_home.iter() {
             assert!(s.requests > 0, "home {h} saw no requests: {:?}", a.per_home);
         }
     }
@@ -860,7 +849,7 @@ mod tests {
         assert_eq!(a.checksum, b.checksum);
         assert_eq!(a.events, b.events);
         assert_eq!(a.per_home.len(), 4);
-        let err = balance_error(&a.per_home, &StressConfig::WEIGHTED_WEIGHTS);
+        let err = a.per_home.balance_error();
         // The full-size run is gated at 0.05 in the committed JSON; the
         // 20k-request smoke run gets statistical slack.
         assert!(

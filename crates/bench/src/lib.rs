@@ -3,6 +3,7 @@
 //! paper's corresponding table or figure shows.
 
 pub mod hotpath;
+pub mod scenarios;
 
 use cohet::experiments::{self, Tier};
 use cohet::profile::reference;

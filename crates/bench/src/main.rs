@@ -2,26 +2,30 @@
 //!
 //! ```text
 //! simcxl-report [table1|fig12|fig13|fig14|fig15|fig16|fig17|fig18|
-//!                calibration|headline|shapes|hotpath|all]
+//!                calibration|headline|shapes|hotpath|scenarios|all]
 //!               [--json] [--quick] [--summary] [--check-determinism]
 //!               [--expect-mode=full|quick]
 //! ```
 //!
 //! `hotpath` runs the event-loop stress workload; with `--json` it also
-//! writes `BENCH_hotpath.json` (see README for the schema). `--quick`
-//! selects the reduced CI smoke workload. Two read-only modes operate
-//! on the already-written `BENCH_hotpath.json` instead of re-running
-//! anything (both exit 2 if the file is unreadable):
+//! writes `BENCH_hotpath.json` (see README for the schema).
+//! `scenarios` runs the three canonical million-client client
+//! scenarios the same way, writing `BENCH_scenarios.json` under
+//! `--json`. `--quick` selects the reduced CI smoke workload. Two
+//! read-only modes operate on the already-written report file instead
+//! of re-running anything (both exit 2 if the file is unreadable):
 //!
-//! * `hotpath --summary` prints the per-variant summary blocks (what CI
-//!   logs instead of ad-hoc JSON digging).
-//! * `hotpath --check-determinism` verifies the `stress` checksum
-//!   against the pinned value for the report's mode and exits 1 on
-//!   drift — the gating determinism canary of the CI perf job.
-//!   `--expect-mode=quick` additionally fails (exit 1) unless the file
-//!   records that mode: CI uses it to prove the checked file was
-//!   written by *this run's* quick bench rather than falling back to
-//!   the committed full-mode file when the bench step died early.
+//! * `hotpath|scenarios --summary` prints the per-variant summary
+//!   blocks (what CI logs instead of ad-hoc JSON digging).
+//! * `hotpath|scenarios --check-determinism` verifies the pinned
+//!   checksums for the report's mode and exits 1 on drift — the gating
+//!   determinism canaries of the CI perf job (`hotpath` pins the
+//!   `stress` checksum, `scenarios` pins all three scenario
+//!   checksums). `--expect-mode=quick` additionally fails (exit 1)
+//!   unless the file records that mode: CI uses it to prove the
+//!   checked file was written by *this run's* quick bench rather than
+//!   falling back to the committed full-mode file when the bench step
+//!   died early.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,14 +39,19 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "all".to_owned());
     if summary || check {
-        if arg != "hotpath" {
+        if arg != "hotpath" && arg != "scenarios" {
             eprintln!(
-                "--summary/--check-determinism apply to the hotpath report: \
-                 run `simcxl-report hotpath --summary|--check-determinism`"
+                "--summary/--check-determinism apply to the hotpath and scenarios \
+                 reports: run `simcxl-report hotpath|scenarios \
+                 --summary|--check-determinism`"
             );
             std::process::exit(2);
         }
-        let path = simcxl_bench::hotpath::report_path();
+        let path = if arg == "hotpath" {
+            simcxl_bench::hotpath::report_path()
+        } else {
+            simcxl_bench::scenarios::report_path()
+        };
         let report = match std::fs::read_to_string(path) {
             Ok(r) => r,
             Err(e) => {
@@ -51,7 +60,11 @@ fn main() {
             }
         };
         if summary {
-            print!("{}", simcxl_bench::hotpath::summary(&report));
+            if arg == "hotpath" {
+                print!("{}", simcxl_bench::hotpath::summary(&report));
+            } else {
+                print!("{}", simcxl_bench::scenarios::summary(&report));
+            }
         }
         if check {
             if let Some(expect) = args
@@ -69,8 +82,14 @@ fn main() {
                     std::process::exit(1);
                 }
             }
-            match simcxl_bench::hotpath::check_determinism(&report) {
-                Ok(sum) => println!("determinism ok: stress checksum {sum:#018x} matches the pin"),
+            let verdict = if arg == "hotpath" {
+                simcxl_bench::hotpath::check_determinism(&report)
+                    .map(|sum| format!("stress checksum {sum:#018x} matches the pin"))
+            } else {
+                simcxl_bench::scenarios::check_determinism(&report)
+            };
+            match verdict {
+                Ok(msg) => println!("determinism ok: {msg}"),
                 Err(e) => {
                     eprintln!("determinism check FAILED: {e}");
                     std::process::exit(1);
@@ -87,6 +106,15 @@ fn main() {
                         .expect("writing BENCH_hotpath.json failed")
                 } else {
                     simcxl_bench::hotpath::report_json(quick)
+                };
+                print!("{out}");
+            }
+            "scenarios" => {
+                let out = if json {
+                    simcxl_bench::scenarios::write_report(quick)
+                        .expect("writing BENCH_scenarios.json failed")
+                } else {
+                    simcxl_bench::scenarios::report_json(quick)
                 };
                 print!("{out}");
             }

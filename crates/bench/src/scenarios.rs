@@ -1,0 +1,328 @@
+//! The scenario bench harness behind `BENCH_scenarios.json`: three
+//! canonical million-client scenarios, each on a representative
+//! directory topology, reported with per-phase latency percentiles and
+//! the determinism checksum.
+//!
+//! Mirrors [`hotpath`](crate::hotpath): `full` mode produces the
+//! committed workspace-root report (≥ 1 M logical clients per
+//! scenario), `quick` mode is the CI smoke variant, and
+//! [`check_determinism`] is the gating half of the CI perf step — the
+//! throughput numbers stay non-gating, but a moved checksum means the
+//! completion stream changed and must fail the build unless the pins
+//! are intentionally updated alongside the change.
+
+use crate::hotpath::{extract_scalar, extract_section};
+use cohet::{CohetSystem, TopologySpec};
+use simcxl_workloads::scenario::{self, ScenarioOutcome, ScenarioSpec};
+
+/// Pinned full-mode per-scenario checksums (the committed
+/// `BENCH_scenarios.json`).
+pub const PINNED_SCENARIO_CHECKSUMS_FULL: [(&str, u64); 3] = [
+    ("ramp_then_burst", 0xe4071f9e605ecdfa),
+    ("steady_closed", 0x6f70cf11a5084b55),
+    ("hot_key_storm", 0xec9696beb5f96c81),
+];
+
+/// Pinned quick-mode per-scenario checksums (what CI regenerates and
+/// gates on).
+pub const PINNED_SCENARIO_CHECKSUMS_QUICK: [(&str, u64); 3] = [
+    ("ramp_then_burst", 0x1981fe52d2394759),
+    ("steady_closed", 0x69b897d245804a27),
+    ("hot_key_storm", 0xffb54423b6959cee),
+];
+
+/// One benchmarked scenario: the declarative spec plus the system it
+/// runs on. The three canonical cases deliberately exercise three
+/// different [`TopologySpec`] variants so the report also tracks the
+/// topology router.
+pub struct ScenarioCase {
+    /// The scenario itself.
+    pub spec: ScenarioSpec,
+    /// Directory topology of the system under test.
+    pub topology: TopologySpec,
+    /// Optional Type-3 expander capacity (claims its own home under
+    /// `CapacityWeighted`).
+    pub expander_mem: Option<u64>,
+}
+
+impl ScenarioCase {
+    /// Builds the system and runs the scenario, returning the outcome
+    /// and the host wall-clock seconds the run took.
+    pub fn run(&self) -> (ScenarioOutcome, f64) {
+        let mut builder = CohetSystem::builder().topology(self.topology.clone());
+        if let Some(bytes) = self.expander_mem {
+            builder = builder.expander_memory(bytes);
+        }
+        let sys = builder.build();
+        let start = std::time::Instant::now();
+        let out = sys.run_scenario(&self.spec);
+        (out, start.elapsed().as_secs_f64())
+    }
+}
+
+/// The three canonical cases at full (≥ 1 M logical clients each) or
+/// quick (CI smoke) scale. The seed is fixed: these runs exist to be
+/// reproduced, not sampled.
+pub fn cases(quick: bool) -> Vec<ScenarioCase> {
+    let (ramp, steady, storm) = if quick {
+        (30_000, 24_000, 24_000)
+    } else {
+        (1_200_000, 1_000_000, 1_000_000)
+    };
+    vec![
+        // Uniform 4-way interleave absorbing an open-loop spike.
+        ScenarioCase {
+            spec: scenario::ramp_then_burst(ramp, 0xC0_11EC7),
+            topology: TopologySpec::Interleaved {
+                homes: 4,
+                stride: 4096,
+            },
+            expander_mem: None,
+        },
+        // Skewed 3:1 weighted stripes under closed-loop throughput.
+        ScenarioCase {
+            spec: scenario::steady_closed(steady, 0xC0_11EC7),
+            topology: TopologySpec::Weighted {
+                weights: vec![3, 1],
+                stride: 4096,
+            },
+            expander_mem: None,
+        },
+        // Capacity-proportional host + expander split under a hot-key
+        // storm (the expander claims the second home).
+        ScenarioCase {
+            spec: scenario::hot_key_storm(storm, 0xC0_11EC7),
+            topology: TopologySpec::CapacityWeighted { stride: 4096 },
+            expander_mem: Some(128 << 20),
+        },
+    ]
+}
+
+fn push_phase(out: &mut String, p: &scenario::PhaseReport, last: bool) {
+    out.push_str(&format!(
+        "      {{\"name\": \"{}\", \"sessions\": {}, \"accesses\": {}, \
+         \"p50_ns\": {:.1}, \"p95_ns\": {:.1}, \"p99_ns\": {:.1}, \
+         \"mean_ns\": {:.1}, \"throughput_per_us\": {:.1}}}{}\n",
+        p.name,
+        p.sessions,
+        p.accesses,
+        p.p50_ns,
+        p.p95_ns,
+        p.p99_ns,
+        p.mean_ns,
+        p.throughput_per_us(),
+        if last { "" } else { "," }
+    ));
+}
+
+fn push_case(out: &mut String, case: &ScenarioCase, r: &ScenarioOutcome, wall: f64, last: bool) {
+    out.push_str(&format!("  \"{}\": {{\n", r.name));
+    out.push_str(&format!("    \"topology\": \"{:?}\",\n", case.topology));
+    out.push_str(&format!("    \"clients\": {},\n", case.spec.clients));
+    out.push_str(&format!("    \"agents\": {},\n", case.spec.agents));
+    out.push_str(&format!("    \"completed\": {},\n", r.completed));
+    out.push_str(&format!("    \"capped\": {},\n", r.capped));
+    out.push_str(&format!("    \"accesses\": {},\n", r.accesses));
+    out.push_str(&format!("    \"events\": {},\n", r.events));
+    out.push_str(&format!("    \"checksum\": \"{:#018x}\",\n", r.checksum));
+    out.push_str(&format!("    \"peak_live\": {},\n", r.peak_live));
+    out.push_str(&format!(
+        "    \"elapsed_sim_us\": {:.1},\n",
+        r.elapsed.as_us_f64()
+    ));
+    out.push_str(&format!("    \"wall_secs\": {wall:.4},\n"));
+    out.push_str(&format!(
+        "    \"events_per_sec\": {:.0},\n",
+        if wall > 0.0 {
+            r.events as f64 / wall
+        } else {
+            0.0
+        }
+    ));
+    out.push_str("    \"phases\": [\n");
+    for (i, p) in r.phases.iter().enumerate() {
+        push_phase(out, p, i + 1 == r.phases.len());
+    }
+    out.push_str("    ]\n");
+    out.push_str(&format!("  }}{}\n", if last { "" } else { "," }));
+}
+
+/// Renders the scenario report as JSON (schema `simcxl-scenarios/v1`;
+/// see README for the field-by-field description). Runs all three
+/// canonical cases.
+pub fn report_json(quick: bool) -> String {
+    let cases = cases(quick);
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"simcxl-scenarios/v1\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    for (i, case) in cases.iter().enumerate() {
+        let (r, wall) = case.run();
+        push_case(&mut out, case, &r, wall, i + 1 == cases.len());
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Workspace-root path of `BENCH_scenarios.json` (anchored via the
+/// crate manifest, like [`hotpath::report_path`](crate::hotpath::report_path)).
+pub fn report_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scenarios.json")
+}
+
+/// Runs the report and writes `BENCH_scenarios.json` at the workspace
+/// root.
+pub fn write_report(quick: bool) -> std::io::Result<String> {
+    let json = report_json(quick);
+    std::fs::write(report_path(), &json)?;
+    Ok(json)
+}
+
+/// Renders the human-oriented summary of a `BENCH_scenarios.json`: one
+/// block per scenario. This is what CI prints instead of ad-hoc JSON
+/// digging.
+pub fn summary(json: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "schema {} ({} mode)\n",
+        extract_scalar(json, "schema").unwrap_or("?"),
+        extract_scalar(json, "mode").unwrap_or("?"),
+    ));
+    for (name, _) in PINNED_SCENARIO_CHECKSUMS_FULL {
+        match extract_section(json, name) {
+            Some(sec) => out.push_str(&format!("\"{name}\": {sec}\n")),
+            None => out.push_str(&format!("\"{name}\": <missing>\n")),
+        }
+    }
+    out
+}
+
+/// Checks the determinism canary of a `BENCH_scenarios.json`: every
+/// scenario's checksum must equal the pinned value for the report's
+/// mode. Returns a one-line confirmation, or a description of the
+/// drift.
+///
+/// # Errors
+///
+/// An explanatory message when the mode, a scenario section, or a
+/// checksum field is missing or malformed, or when any checksum does
+/// not match its pin.
+pub fn check_determinism(json: &str) -> Result<String, String> {
+    let mode = extract_scalar(json, "mode").ok_or("report has no \"mode\" field")?;
+    let pins = match mode {
+        "full" => PINNED_SCENARIO_CHECKSUMS_FULL,
+        "quick" => PINNED_SCENARIO_CHECKSUMS_QUICK,
+        other => return Err(format!("unknown report mode {other:?}")),
+    };
+    for (name, pinned) in pins {
+        let sec = extract_section(json, name).ok_or(format!("report has no \"{name}\" section"))?;
+        let checksum = extract_scalar(sec, "checksum").ok_or(format!("{name} has no checksum"))?;
+        let value = u64::from_str_radix(checksum.trim_start_matches("0x"), 16)
+            .map_err(|e| format!("unparsable {name} checksum {checksum:?}: {e}"))?;
+        if value != pinned {
+            return Err(format!(
+                "{name} checksum drifted: got {value:#018x}, pinned {pinned:#018x} \
+                 ({mode} mode) — the completion stream changed; if intentional, \
+                 update the pins in crates/bench/src/scenarios.rs"
+            ));
+        }
+    }
+    Ok(format!(
+        "{} scenario checksums match their {mode}-mode pins",
+        pins.len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scaled-down case (debug builds run these) that still exercises
+    /// the full system path: builder, topology resolution, scenario
+    /// executor.
+    fn tiny() -> ScenarioCase {
+        let mut c = cases(true).remove(0);
+        c.spec.clients = 1_500;
+        c
+    }
+
+    #[test]
+    fn case_runs_are_reproducible() {
+        let case = tiny();
+        let (a, _) = case.run();
+        let (b, _) = case.run();
+        assert_eq!(a, b);
+        assert_eq!(a.completed + a.capped, case.spec.clients);
+        assert_ne!(a.checksum, 0);
+    }
+
+    #[test]
+    fn report_roundtrips_through_the_extractors() {
+        let case = tiny();
+        let (r, wall) = case.run();
+        let mut json =
+            String::from("{\n  \"schema\": \"simcxl-scenarios/v1\",\n  \"mode\": \"quick\",\n");
+        push_case(&mut json, &case, &r, wall, true);
+        json.push_str("}\n");
+        let sec = extract_section(&json, "ramp_then_burst").expect("section");
+        let sum = extract_scalar(sec, "checksum").expect("checksum");
+        assert_eq!(
+            u64::from_str_radix(sum.trim_start_matches("0x"), 16).unwrap(),
+            r.checksum
+        );
+        let phases = extract_section(sec, "phases").expect("phases");
+        assert_eq!(phases.matches("\"name\"").count(), r.phases.len());
+    }
+
+    #[test]
+    fn pins_cover_every_canonical_case() {
+        let names: Vec<String> = cases(true).iter().map(|c| c.spec.name.clone()).collect();
+        for pins in [
+            PINNED_SCENARIO_CHECKSUMS_FULL,
+            PINNED_SCENARIO_CHECKSUMS_QUICK,
+        ] {
+            assert_eq!(pins.len(), names.len());
+            for ((pin_name, _), name) in pins.iter().zip(&names) {
+                assert_eq!(pin_name, name);
+            }
+        }
+    }
+
+    /// The quick-mode pins are live: re-running the quick cases
+    /// reproduces them bit-for-bit (the in-process twin of the CI
+    /// `scenarios --check-determinism --expect-mode=quick` gate).
+    #[test]
+    fn quick_cases_reproduce_their_pins() {
+        for (case, (name, pin)) in cases(true).iter().zip(PINNED_SCENARIO_CHECKSUMS_QUICK) {
+            let (out, _) = case.run();
+            assert_eq!(out.name, name);
+            assert_eq!(
+                out.checksum, pin,
+                "{name} quick checksum drifted from its pin"
+            );
+        }
+    }
+
+    #[test]
+    fn determinism_check_flags_drift_and_missing_fields() {
+        assert!(check_determinism("{}").is_err());
+        assert!(check_determinism("{\n  \"mode\": \"warp\",\n}").is_err());
+        let mut json = String::from("{\n  \"mode\": \"quick\",\n");
+        for (name, pin) in PINNED_SCENARIO_CHECKSUMS_QUICK {
+            json.push_str(&format!(
+                "  \"{name}\": {{\n    \"checksum\": \"{pin:#018x}\"\n  }},\n"
+            ));
+        }
+        json.push_str("}\n");
+        assert!(check_determinism(&json).is_ok());
+        let drifted = json.replacen(
+            &format!("{:#018x}", PINNED_SCENARIO_CHECKSUMS_QUICK[0].1),
+            "0x0000000000000001",
+            1,
+        );
+        let err = check_determinism(&drifted).unwrap_err();
+        assert!(err.contains("drifted"), "{err}");
+    }
+}

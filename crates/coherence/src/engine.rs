@@ -340,11 +340,19 @@ impl ProtocolEngine {
     /// Aggregated home-agent statistics (summed over every home in the
     /// topology; for N=1 this is exactly the single home's counters).
     pub fn home_stats(&self) -> HomeStats {
-        let mut total = HomeStats::default();
-        for h in &self.homes {
-            total += h.stats();
-        }
-        total
+        self.home_stats_view().total()
+    }
+
+    /// A snapshot of every home's statistics paired with the topology's
+    /// load weights — the unified per-home query surface (aggregate,
+    /// per-home lookup, iteration, balance error) that reporters consume
+    /// instead of re-aggregating over
+    /// [`home_stats_for`](Self::home_stats_for) loops.
+    pub fn home_stats_view(&self) -> crate::home::HomeStatsView {
+        crate::home::HomeStatsView::new(
+            self.homes.iter().map(|h| h.stats()).collect(),
+            self.topology.home_weights(),
+        )
     }
 
     /// Statistics of one home agent, for interleave-imbalance analysis.

@@ -136,6 +136,109 @@ impl std::ops::AddAssign for HomeStats {
     }
 }
 
+/// An immutable snapshot of every home agent's statistics, paired with
+/// the topology's per-home load weights.
+///
+/// This is the single per-home stats query surface: the aggregate
+/// ([`total`](Self::total)), one home's counters ([`get`](Self::get)),
+/// iteration in [`HomeId`] order ([`iter`](Self::iter)), and how far
+/// directory traffic deviates from the weight shares
+/// ([`balance_error`](Self::balance_error)) all come from the same
+/// snapshot instead of each caller re-aggregating over
+/// `home_stats_for(HomeId(h))` loops.
+///
+/// Obtain one from
+/// [`ProtocolEngine::home_stats_view`](crate::engine::ProtocolEngine::home_stats_view),
+/// or assemble one with [`new`](Self::new) when replaying recorded
+/// counters (the bench report's balance math goes through that path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HomeStatsView {
+    stats: Vec<HomeStats>,
+    weights: Vec<u64>,
+}
+
+impl HomeStatsView {
+    /// Builds a view from per-home counters and the matching weights
+    /// (both indexed by [`HomeId`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ or the view would be empty.
+    pub fn new(stats: Vec<HomeStats>, weights: Vec<u64>) -> Self {
+        assert_eq!(
+            stats.len(),
+            weights.len(),
+            "one weight per home's stats entry"
+        );
+        assert!(!stats.is_empty(), "a topology has at least one home");
+        HomeStatsView { stats, weights }
+    }
+
+    /// Number of homes in the snapshot.
+    pub fn len(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Whether the snapshot is empty (never true for engine-produced
+    /// views; a topology has at least one home).
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    /// One home's counters, or `None` if `home` is out of range.
+    pub fn get(&self, home: HomeId) -> Option<&HomeStats> {
+        self.stats.get(home.index())
+    }
+
+    /// Iterates `(HomeId, stats)` pairs in home order.
+    pub fn iter(&self) -> impl Iterator<Item = (HomeId, &HomeStats)> {
+        self.stats.iter().enumerate().map(|(i, s)| (HomeId(i), s))
+    }
+
+    /// The per-home counters as a slice, indexed by [`HomeId`].
+    pub fn stats(&self) -> &[HomeStats] {
+        &self.stats
+    }
+
+    /// The topology's relative load weight of each home (see
+    /// [`Topology::home_weights`](crate::topology::Topology::home_weights)).
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+
+    /// Counters summed over every home — the aggregate the single-home
+    /// engine used to report.
+    pub fn total(&self) -> HomeStats {
+        let mut total = HomeStats::default();
+        for s in &self.stats {
+            total += *s;
+        }
+        total
+    }
+
+    /// Maximum relative deviation of per-home request traffic from its
+    /// weight share: `max_i |share_i - w_i/sum(w)| / (w_i/sum(w))` over
+    /// the per-home `requests` counters. `0.0` is perfect
+    /// capacity-proportional balance; `0.0` is also returned when no
+    /// requests were recorded at all.
+    pub fn balance_error(&self) -> f64 {
+        let total_req: u64 = self.stats.iter().map(|s| s.requests).sum();
+        let total_w: u64 = self.weights.iter().sum();
+        if total_req == 0 {
+            return 0.0;
+        }
+        self.stats
+            .iter()
+            .zip(&self.weights)
+            .map(|(s, &w)| {
+                let share = s.requests as f64 / total_req as f64;
+                let want = w as f64 / total_w as f64;
+                (share - want).abs() / want
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
 /// The shared-LLC home agent.
 ///
 /// A multi-home engine instantiates one per directory shard; each agent
@@ -710,5 +813,49 @@ impl HomeAgent {
             }
             self.process_request(from, kind, addr, t, out);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(requests: u64) -> HomeStats {
+        HomeStats {
+            requests,
+            ..HomeStats::default()
+        }
+    }
+
+    #[test]
+    fn view_total_and_lookup() {
+        let v = HomeStatsView::new(vec![mk(3), mk(5)], vec![1, 1]);
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
+        assert_eq!(v.total().requests, 8);
+        assert_eq!(v.get(HomeId(1)).unwrap().requests, 5);
+        assert!(v.get(HomeId(2)).is_none());
+        let ids: Vec<HomeId> = v.iter().map(|(h, _)| h).collect();
+        assert_eq!(ids, vec![HomeId(0), HomeId(1)]);
+    }
+
+    #[test]
+    fn view_balance_error_math() {
+        // Perfect 4:2:1:1 split.
+        let v = HomeStatsView::new(vec![mk(400), mk(200), mk(100), mk(100)], vec![4, 2, 1, 1]);
+        assert!(v.balance_error() < 1e-12);
+        // Home 2 at double its weight's worth of the (now larger)
+        // total: share 200/900 vs want 1/8 -> deviation 7/9.
+        let v = HomeStatsView::new(vec![mk(400), mk(200), mk(200), mk(100)], vec![4, 2, 1, 1]);
+        assert!((v.balance_error() - 7.0 / 9.0).abs() < 1e-9);
+        // No traffic at all: defined as perfectly balanced.
+        let v = HomeStatsView::new(vec![mk(0), mk(0)], vec![1, 1]);
+        assert_eq!(v.balance_error(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per home")]
+    fn view_rejects_length_mismatch() {
+        let _ = HomeStatsView::new(vec![mk(1)], vec![1, 2]);
     }
 }

@@ -59,6 +59,7 @@ pub mod topology;
 pub use config::{CacheConfig, EngineConfig, HomeConfig, ParallelConfig};
 pub use engine::{Completion, ProtocolEngine, ProtocolEngineBuilder};
 pub use funcmem::{AtomicKind, FuncMem};
+pub use home::{HomeStats, HomeStatsView};
 pub use msg::{AgentId, HitLevel, MemOp, ReqId};
 pub use topology::{HomeId, Topology};
 
@@ -67,6 +68,7 @@ pub mod prelude {
     pub use crate::config::{CacheConfig, EngineConfig, HomeConfig};
     pub use crate::engine::{Completion, ProtocolEngine};
     pub use crate::funcmem::AtomicKind;
+    pub use crate::home::{HomeStats, HomeStatsView};
     pub use crate::msg::{AgentId, HitLevel, MemOp, ReqId};
     pub use crate::topology::{HomeId, Topology};
 }

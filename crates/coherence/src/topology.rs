@@ -317,14 +317,78 @@ impl Topology {
     /// [`HomeId`]: the stripe share a home owns under the policy. The
     /// parallel executor balances shard assignment on these, so a
     /// weighted topology's heavy homes do not pile onto one worker.
-    /// Interleaves are uniform (`1` each); range tables are reported
-    /// uniform too (claims say nothing about traffic).
+    /// Interleaves are uniform (`1` each); range tables derive each
+    /// home's weight from the bytes it owns — claimed homes from their
+    /// claims' total size, fallback homes from equal shares of the
+    /// unclaimed span below the lowest claim (the host-pool proxy) — so
+    /// LPT shard assignment no longer stacks a small expander home onto
+    /// the same worker as a hot host home under the old uniform report.
+    ///
+    /// ```
+    /// use simcxl_coherence::{HomeId, Topology};
+    /// use simcxl_mem::{AddrRange, PhysAddr};
+    /// const G: u64 = 1 << 30;
+    /// // Hosts 0/1 interleave [0, 2G); home 2 claims a 1G expander.
+    /// let t = Topology::ranges(
+    ///     3,
+    ///     vec![(AddrRange::new(PhysAddr::new(2 * G), G), HomeId(2))],
+    ///     2,
+    ///     4096,
+    /// );
+    /// // Each host home owns 1G of fallback span, the expander 1G.
+    /// assert_eq!(t.home_weights(), vec![1, 1, 1]);
+    /// ```
     pub fn home_weights(&self) -> Vec<u64> {
         match &self.policy {
             Policy::Weighted(wi) => wi.weights().to_vec(),
-            Policy::Interleave(_) | Policy::Ranges { .. } => vec![1; self.homes],
+            Policy::Interleave(_) => vec![1; self.homes],
+            Policy::Ranges { table, fallback } => {
+                if table.is_empty() {
+                    return vec![1; self.homes];
+                }
+                // Bytes owned per home: claims count in full; the span
+                // below the lowest claim base (where the backing pools
+                // the fallback serves live) is split evenly over the
+                // fallback homes. u128 guards against summing claims
+                // near the top of the address space.
+                let mut bytes = vec![0u128; self.homes];
+                let mut lowest = u64::MAX;
+                for &(r, h) in table {
+                    bytes[h.index()] += r.size() as u128;
+                    lowest = lowest.min(r.base().raw());
+                }
+                let fb = fallback.ways();
+                for b in bytes.iter_mut().take(fb) {
+                    *b += (lowest / fb as u64) as u128;
+                }
+                if bytes.iter().all(|&b| b == 0) {
+                    return vec![1; self.homes];
+                }
+                // Reduce to the smallest integer ratio; a home owning no
+                // bytes still weighs 1 so LPT never treats it as free.
+                let g = bytes
+                    .iter()
+                    .filter(|&&b| b > 0)
+                    .fold(0u128, |g, &b| gcd_u128(g, b));
+                bytes
+                    .iter()
+                    .map(|&b| u64::try_from(b / g).unwrap_or(u64::MAX).max(1))
+                    .collect()
+            }
         }
     }
+}
+
+/// Euclid over u128 (claim sizes can sum past u64; `simcxl_mem::gcd`
+/// is 64-bit).
+fn gcd_u128(a: u128, b: u128) -> u128 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
 }
 
 #[cfg(test)]
@@ -456,6 +520,68 @@ mod tests {
         let sum: u64 = w.iter().sum();
         let share0 = w[0] as f64 / sum as f64;
         assert!((share0 - 0.8).abs() < 0.01, "host share {share0} off 0.8");
+    }
+
+    #[test]
+    fn range_weights_track_claimed_bytes() {
+        const G: u64 = 1 << 30;
+        // Hosts 0/1 interleave [0, 4G); home 2 claims a 1G expander at
+        // 4G: hosts own 2G each, the expander 1G -> 2:2:1.
+        let t = Topology::ranges(
+            3,
+            vec![(AddrRange::new(PhysAddr::new(4 * G), G), HomeId(2))],
+            2,
+            4096,
+        );
+        assert_eq!(t.home_weights(), vec![2, 2, 1]);
+        // A big expander dominates: 2G host span over two hosts vs. a
+        // 4G claim -> 1:1:4, so LPT puts the expander home on its own
+        // shard instead of stacking it with a host home.
+        let t = Topology::ranges(
+            3,
+            vec![(AddrRange::new(PhysAddr::new(2 * G), 4 * G), HomeId(2))],
+            2,
+            4096,
+        );
+        assert_eq!(t.home_weights(), vec![1, 1, 4]);
+    }
+
+    #[test]
+    fn range_weights_multiple_claims_sum_per_home() {
+        const G: u64 = 1 << 30;
+        let t = Topology::ranges(
+            3,
+            vec![
+                (AddrRange::new(PhysAddr::new(2 * G), G), HomeId(2)),
+                (AddrRange::new(PhysAddr::new(3 * G), G), HomeId(2)),
+            ],
+            2,
+            4096,
+        );
+        // 2G fallback span split over two hosts, 2G claimed by home 2.
+        assert_eq!(t.home_weights(), vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn range_weights_claim_at_zero_keeps_fallback_homes_reachable() {
+        const G: u64 = 1 << 30;
+        // A claim at base 0 leaves no fallback span; the fallback homes
+        // must still weigh >= 1 so shard assignment can schedule them.
+        let t = Topology::ranges(
+            3,
+            vec![(AddrRange::new(PhysAddr::new(0), G), HomeId(2))],
+            2,
+            4096,
+        );
+        let w = t.home_weights();
+        assert_eq!(w.len(), 3);
+        assert!(w.iter().all(|&x| x >= 1), "weights {w:?}");
+    }
+
+    #[test]
+    fn empty_range_table_reports_uniform_weights() {
+        let t = Topology::ranges(4, vec![], 4, 4096);
+        assert_eq!(t.home_weights(), vec![1; 4]);
     }
 
     #[test]

@@ -45,13 +45,16 @@ pub mod experiments;
 pub mod extensions;
 pub mod profile;
 pub mod system;
+pub mod topo;
 
 pub use profile::DeviceProfile;
 pub use system::{CohetError, CohetProcess, CohetSystem, KernelCtx};
+pub use topo::TopologySpec;
 
 /// The types most applications need.
 pub mod prelude {
     pub use crate::profile::DeviceProfile;
     pub use crate::system::{CohetError, CohetProcess, CohetSystem, KernelCtx};
+    pub use crate::topo::TopologySpec;
     pub use cohet_os::VirtAddr;
 }

@@ -1,12 +1,14 @@
 //! The Cohet framework: coherent CPU/XPU pools over one page table.
 
 use crate::profile::DeviceProfile;
+use crate::topo::TopologySpec;
 use cohet_os::{AccessKind, Accessor, NodeId, NodeKind, NumaTopology, OsError, Process, VirtAddr};
 use sim_core::Tick;
 use simcxl_coherence::prelude::*;
 use simcxl_coherence::AtomicKind;
 use simcxl_cxl::{Atc, AtcConfig, IommuConfig};
 use simcxl_mem::{AddrRange, DramConfig, DramKind, MemoryInterface, PhysAddr};
+use simcxl_workloads::scenario::{self, ScenarioOutcome, ScenarioSpec};
 use std::fmt;
 
 /// Errors surfaced by the framework.
@@ -43,13 +45,18 @@ pub struct CohetSystem {
     host_mem: u64,
     xpu_mem: u64,
     expander_mem: Option<u64>,
-    homes: usize,
-    interleave_stride: u64,
-    home_weights: Option<Vec<u64>>,
+    topo: TopologySpec,
     parallel_threads: usize,
 }
 
 /// Builder for [`CohetSystem`].
+///
+/// The directory layout is declared with one
+/// [`topology`](Self::topology) call taking a
+/// [`TopologySpec`]; the pre-spec knobs
+/// ([`homes`](Self::homes), [`interleave`](Self::interleave),
+/// [`interleave_weighted`](Self::interleave_weighted)) survive as
+/// deprecated shims that fold into the equivalent spec.
 #[derive(Debug, Clone)]
 pub struct CohetSystemBuilder {
     profile: DeviceProfile,
@@ -57,9 +64,11 @@ pub struct CohetSystemBuilder {
     host_mem: u64,
     xpu_mem: u64,
     expander_mem: Option<u64>,
-    homes: usize,
-    interleave_stride: u64,
-    home_weights: Option<Vec<u64>>,
+    topo: Option<TopologySpec>,
+    // Deprecated-shim state, folded into a TopologySpec by build().
+    legacy_homes: Option<usize>,
+    legacy_stride: Option<u64>,
+    legacy_weights: Option<Vec<u64>>,
     parallel_threads: usize,
 }
 
@@ -71,9 +80,10 @@ impl Default for CohetSystemBuilder {
             host_mem: 256 << 20,
             xpu_mem: 256 << 20,
             expander_mem: None,
-            homes: 1,
-            interleave_stride: cohet_os::PAGE_SIZE,
-            home_weights: None,
+            topo: None,
+            legacy_homes: None,
+            legacy_stride: None,
+            legacy_weights: None,
             parallel_threads: 1,
         }
     }
@@ -113,82 +123,25 @@ impl CohetSystemBuilder {
         self
     }
 
-    /// Interleaves the directory across `n` host-socket home agents
-    /// (default 1: the monolithic home). With an expander attached, the
-    /// expander's memory is additionally homed on its *own* agent, so
-    /// the engine ends up with `n + 1` homes.
+    /// Declares the directory topology in one shot (default:
+    /// [`TopologySpec::SingleHome`]). The spec states the whole layout
+    /// explicitly — host-home count, stride, weights, and what an
+    /// attached expander does — instead of spreading it across three
+    /// knobs; see [`TopologySpec`] for the variant-by-variant expander
+    /// behavior.
     ///
     /// ```
     /// use cohet::prelude::*;
+    /// use cohet::TopologySpec;
     ///
-    /// let proc = CohetSystem::builder().homes(4).build().spawn_process();
-    /// assert_eq!(proc.engine().num_homes(), 4);
-    /// ```
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `n` is a nonzero power of two (the interleave uses
-    /// shift/mask routing).
-    pub fn homes(mut self, n: usize) -> Self {
-        assert!(n >= 1 && n.is_power_of_two(), "home count must be pow2");
-        self.homes = n;
-        self
-    }
-
-    /// Sets the byte stride of the host-home interleave (default: one
-    /// OS page, so a page's lines share a home). Only meaningful with
-    /// [`homes`](Self::homes) `> 1`.
-    ///
-    /// ```
-    /// use cohet::prelude::*;
-    /// use simcxl_coherence::HomeId;
-    /// use simcxl_mem::PhysAddr;
-    ///
-    /// // Two homes, 64 KB stride: consecutive 64 KB blocks alternate.
+    /// // Two host homes splitting the stripes 3:1, plus a 64 MB
+    /// // expander that joins the stripe at a capacity-derived
+    /// // auto-weight of 64 MB / (256 MB / 4) = 1.
     /// let proc = CohetSystem::builder()
-    ///     .homes(2)
-    ///     .interleave(64 * 1024)
-    ///     .build()
-    ///     .spawn_process();
-    /// let topo = proc.engine().topology();
-    /// assert_eq!(topo.home_for(PhysAddr::new(0)), HomeId(0));
-    /// assert_eq!(topo.home_for(PhysAddr::new(64 * 1024)), HomeId(1));
-    /// ```
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `stride` is a power of two of at least one
-    /// cacheline.
-    pub fn interleave(mut self, stride: u64) -> Self {
-        assert!(
-            stride.is_power_of_two() && stride >= simcxl_mem::CACHELINE_BYTES,
-            "interleave stride must be pow2 and >= one cacheline"
-        );
-        self.interleave_stride = stride;
-        self
-    }
-
-    /// Stripes the directory across the host-socket homes with
-    /// capacity-proportional *weights* instead of the uniform
-    /// interleave: home `i` owns a `weights[i] / sum(weights)` share of
-    /// the stripes (at the [`interleave`](Self::interleave) stride).
-    /// The weight count must match [`homes`](Self::homes).
-    ///
-    /// With an expander attached, the expander home joins the weighted
-    /// stripe with an **auto-derived weight proportional to its
-    /// capacity** (rounded against the host bytes-per-weight-unit,
-    /// minimum 1) — so a small expander gets a few stripes of directory
-    /// traffic instead of a whole dedicated home, and the parallel
-    /// executor can balance shards on real load shares.
-    ///
-    /// ```
-    /// use cohet::prelude::*;
-    ///
-    /// // Two host homes splitting 256 MB as 3:1, plus a 64 MB expander:
-    /// // the expander's auto-weight is 64 MB / (256 MB / 4) = 1.
-    /// let proc = CohetSystem::builder()
-    ///     .homes(2)
-    ///     .interleave_weighted(vec![3, 1])
+    ///     .topology(TopologySpec::Weighted {
+    ///         weights: vec![3, 1],
+    ///         stride: 4096,
+    ///     })
     ///     .expander_memory(64 << 20)
     ///     .build()
     ///     .spawn_process();
@@ -198,12 +151,83 @@ impl CohetSystemBuilder {
     ///
     /// # Panics
     ///
-    /// `spawn_process` panics if the weight count differs from the home
-    /// count, or on invalid weights (see
-    /// [`Topology::weighted`](simcxl_coherence::Topology::weighted)).
+    /// [`build`](Self::build) panics if the deprecated knobs
+    /// ([`homes`](Self::homes) / [`interleave`](Self::interleave) /
+    /// [`interleave_weighted`](Self::interleave_weighted)) were also
+    /// set, and on invalid spec parameters (see
+    /// [`TopologySpec::resolve`]).
+    pub fn topology(mut self, spec: TopologySpec) -> Self {
+        self.topo = Some(spec);
+        self
+    }
+
+    /// Interleaves the directory across `n` host-socket home agents.
+    ///
+    /// Deprecated shim: equivalent to
+    /// [`topology`](Self::topology)`(TopologySpec::Interleaved { homes: n, .. })`,
+    /// with the stride from [`interleave`](Self::interleave) (default
+    /// one OS page) and the expander auto-homing described on
+    /// [`TopologySpec::Interleaved`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a nonzero power of two (the interleave uses
+    /// shift/mask routing).
+    #[deprecated(
+        since = "0.1.0",
+        note = "declare the layout with CohetSystemBuilder::topology(TopologySpec::Interleaved { homes, stride })"
+    )]
+    pub fn homes(mut self, n: usize) -> Self {
+        assert!(n >= 1 && n.is_power_of_two(), "home count must be pow2");
+        self.legacy_homes = Some(n);
+        self
+    }
+
+    /// Sets the byte stride of the host-home interleave.
+    ///
+    /// Deprecated shim: the stride is now a field of the
+    /// [`TopologySpec`] variant passed to
+    /// [`topology`](Self::topology).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `stride` is a power of two of at least one
+    /// cacheline.
+    #[deprecated(
+        since = "0.1.0",
+        note = "declare the stride on the TopologySpec variant passed to CohetSystemBuilder::topology"
+    )]
+    pub fn interleave(mut self, stride: u64) -> Self {
+        assert!(
+            stride.is_power_of_two() && stride >= simcxl_mem::CACHELINE_BYTES,
+            "interleave stride must be pow2 and >= one cacheline"
+        );
+        self.legacy_stride = Some(stride);
+        self
+    }
+
+    /// Stripes the directory across the host-socket homes with
+    /// capacity-proportional *weights* instead of the uniform
+    /// interleave.
+    ///
+    /// Deprecated shim: equivalent to
+    /// [`topology`](Self::topology)`(TopologySpec::Weighted { weights, .. })`,
+    /// with the stride from [`interleave`](Self::interleave) and the
+    /// expander auto-weighting described on
+    /// [`TopologySpec::Weighted`]. The weight count must match
+    /// [`homes`](Self::homes).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty weight vector; [`build`](Self::build) panics
+    /// if the weight count differs from the home count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "declare the layout with CohetSystemBuilder::topology(TopologySpec::Weighted { weights, stride })"
+    )]
     pub fn interleave_weighted(mut self, weights: Vec<u64>) -> Self {
         assert!(!weights.is_empty(), "need at least one weight");
-        self.home_weights = Some(weights);
+        self.legacy_weights = Some(weights);
         self
     }
 
@@ -220,7 +244,10 @@ impl CohetSystemBuilder {
     /// use cohet::prelude::*;
     ///
     /// let mut proc = CohetSystem::builder()
-    ///     .homes(4)
+    ///     .topology(TopologySpec::Interleaved {
+    ///         homes: 4,
+    ///         stride: 4096,
+    ///     })
     ///     .parallel(4)
     ///     .build()
     ///     .spawn_process();
@@ -236,17 +263,51 @@ impl CohetSystemBuilder {
         self
     }
 
-    /// Finishes the description.
+    /// Finishes the description, folding any deprecated topology knobs
+    /// into the equivalent [`TopologySpec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`topology`](Self::topology) was mixed with the
+    /// deprecated knobs, or if
+    /// [`interleave_weighted`](Self::interleave_weighted)'s weight
+    /// count differs from [`homes`](Self::homes).
     pub fn build(self) -> CohetSystem {
+        let topo = match self.topo {
+            Some(spec) => {
+                assert!(
+                    self.legacy_homes.is_none()
+                        && self.legacy_stride.is_none()
+                        && self.legacy_weights.is_none(),
+                    "topology(spec) replaces homes()/interleave()/interleave_weighted(); \
+                     set one or the other, not both"
+                );
+                spec
+            }
+            None => {
+                let stride = self.legacy_stride.unwrap_or(cohet_os::PAGE_SIZE);
+                let homes = self.legacy_homes.unwrap_or(1);
+                if let Some(weights) = self.legacy_weights {
+                    assert_eq!(
+                        weights.len(),
+                        homes,
+                        "interleave_weighted needs one weight per host home"
+                    );
+                    TopologySpec::Weighted { weights, stride }
+                } else if homes == 1 {
+                    TopologySpec::SingleHome
+                } else {
+                    TopologySpec::Interleaved { homes, stride }
+                }
+            }
+        };
         CohetSystem {
             profile: self.profile,
             xpus: self.xpus,
             host_mem: self.host_mem,
             xpu_mem: self.xpu_mem,
             expander_mem: self.expander_mem,
-            homes: self.homes,
-            interleave_stride: self.interleave_stride,
-            home_weights: self.home_weights,
+            topo,
             parallel_threads: self.parallel_threads,
         }
     }
@@ -258,12 +319,19 @@ impl CohetSystem {
         CohetSystemBuilder::default()
     }
 
-    /// Instantiates the runtime (OS + coherence engine + devices) and
-    /// spawns the single simulated process over it.
-    pub fn spawn_process(&self) -> CohetProcess {
-        // Physical map: host memory at 0, each XPU's memory after it.
-        let mut topo = NumaTopology::new(cohet_os::PAGE_SIZE);
-        let cpu_node = topo.add_node(
+    /// The declared directory topology (after any deprecated-knob
+    /// folding).
+    pub fn topology_spec(&self) -> &TopologySpec {
+        &self.topo
+    }
+
+    /// Builds the physical memory fabric shared by
+    /// [`spawn_process`](Self::spawn_process) and
+    /// [`run_scenario`](Self::run_scenario): host memory at 0, each
+    /// XPU's memory after it, then the expander.
+    fn fabric(&self) -> Fabric {
+        let mut numa = NumaTopology::new(cohet_os::PAGE_SIZE);
+        let cpu_node = numa.add_node(
             NodeKind::Cpu,
             AddrRange::new(PhysAddr::new(0), self.host_mem),
         );
@@ -277,7 +345,7 @@ impl CohetSystem {
         let mut base = self.host_mem.next_power_of_two().max(1 << 30);
         for _ in 0..self.xpus {
             let range = AddrRange::new(PhysAddr::new(base), self.xpu_mem);
-            xpu_nodes.push(topo.add_node(NodeKind::Xpu, range));
+            xpu_nodes.push(numa.add_node(NodeKind::Xpu, range));
             mi.add_memory(
                 range,
                 DramConfig::preset(DramKind::Ddr5_4400),
@@ -291,46 +359,28 @@ impl CohetSystem {
             // The Type-3 expander: a CPU-less node behind the CXL.mem
             // link (the paper's Samsung device appears the same way).
             let range = AddrRange::new(PhysAddr::new(base), bytes);
-            expander_node = Some(topo.add_node(NodeKind::CpulessMemory, range));
+            expander_node = Some(numa.add_node(NodeKind::CpulessMemory, range));
             expander_range = Some(range);
             let cfg = simcxl_cxl::CxlMemConfig::expander_default();
             mi.add_memory(range, cfg.dram.clone(), cfg.link_latency);
         }
-        // Directory distribution: N host-socket homes interleave the
-        // address space; an expander's memory is homed on its own agent
-        // (the switch routes its range to the device-side directory).
-        // With weights set, host homes stripe proportionally and the
-        // expander home joins the stripe at a capacity-derived weight
-        // instead of claiming its whole range. homes == 1 keeps the
-        // legacy monolithic-home shape.
-        let topology = if let Some(weights) = &self.home_weights {
-            assert_eq!(
-                weights.len(),
-                self.homes,
-                "interleave_weighted needs one weight per host home"
-            );
-            let mut weights = weights.clone();
-            if let Some(range) = expander_range {
-                // Capacity per host weight unit decides the expander's
-                // stripe share; a tiny expander still gets one stripe.
-                let unit: u64 = weights.iter().sum();
-                let w = (range.size() as u128 * unit as u128 + (self.host_mem / 2) as u128)
-                    / self.host_mem as u128;
-                weights.push((w as u64).max(1));
-            }
-            Topology::weighted(&weights, self.interleave_stride)
-        } else if self.homes == 1 {
-            Topology::single()
-        } else if let Some(range) = expander_range {
-            Topology::ranges(
-                self.homes + 1,
-                vec![(range, HomeId(self.homes))],
-                self.homes,
-                self.interleave_stride,
-            )
-        } else {
-            Topology::interleaved(self.homes, self.interleave_stride)
-        };
+        Fabric {
+            numa,
+            mi,
+            cpu_node,
+            xpu_nodes,
+            expander_node,
+            expander_range,
+        }
+    }
+
+    /// Builds the coherence engine over an already-constructed fabric.
+    fn build_engine(
+        &self,
+        mi: MemoryInterface,
+        expander_range: Option<AddrRange>,
+    ) -> ProtocolEngine {
+        let topology = self.topo.resolve(self.host_mem, expander_range);
         let mut builder = ProtocolEngine::builder()
             .home(self.profile.home.clone())
             .memory(mi)
@@ -338,7 +388,14 @@ impl CohetSystem {
         if self.parallel_threads > 1 {
             builder = builder.parallel(self.parallel_threads);
         }
-        let mut engine = builder.build();
+        builder.build()
+    }
+
+    /// Instantiates the runtime (OS + coherence engine + devices) and
+    /// spawns the single simulated process over it.
+    pub fn spawn_process(&self) -> CohetProcess {
+        let fabric = self.fabric();
+        let mut engine = self.build_engine(fabric.mi, fabric.expander_range);
         let cpu_agent = engine.add_cache(CacheConfig::cpu_l1());
         let xpu_agents: Vec<AgentId> = (0..self.xpus)
             .map(|_| engine.add_cache(self.profile.hmc.clone()))
@@ -347,17 +404,75 @@ impl CohetSystem {
             .map(|_| Atc::new(AtcConfig::default(), IommuConfig::default()))
             .collect();
         CohetProcess {
-            os: Process::new(topo),
+            os: Process::new(fabric.numa),
             engine,
             cpu_agent,
-            cpu_node,
+            cpu_node: fabric.cpu_node,
             xpu_agents,
-            xpu_nodes,
-            expander_node,
+            xpu_nodes: fabric.xpu_nodes,
+            expander_node: fabric.expander_node,
             atcs,
             clock: Tick::ZERO,
         }
     }
+
+    /// Runs a declarative client [`scenario`] on this system: same
+    /// memory fabric, directory topology, and
+    /// parallel configuration as [`spawn_process`](Self::spawn_process),
+    /// but driven batch-style by `spec.agents` cache agents multiplexing
+    /// the scenario's logical client population. The key table occupies
+    /// host memory from physical address 0.
+    ///
+    /// ```
+    /// use cohet::prelude::*;
+    /// use cohet::TopologySpec;
+    /// use simcxl_workloads::scenario;
+    ///
+    /// let mut spec = scenario::ramp_then_burst(2_000, 42);
+    /// let out = CohetSystem::builder()
+    ///     .topology(TopologySpec::Interleaved {
+    ///         homes: 2,
+    ///         stride: 4096,
+    ///     })
+    ///     .build()
+    ///     .run_scenario(&spec);
+    /// assert_eq!(out.completed, 2_000);
+    /// assert_eq!(out.phases.len(), 3);
+    /// // Same spec, same system: bit-identical rerun.
+    /// spec.name = "rerun".into();
+    /// # let sys = CohetSystem::builder()
+    /// #     .topology(TopologySpec::Interleaved { homes: 2, stride: 4096 })
+    /// #     .build();
+    /// # assert_eq!(sys.run_scenario(&spec).checksum, out.checksum);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid spec, or if the spec's hash table does not
+    /// fit in host memory.
+    pub fn run_scenario(&self, spec: &ScenarioSpec) -> ScenarioOutcome {
+        let fabric = self.fabric();
+        let mut engine = self.build_engine(fabric.mi, fabric.expander_range);
+        assert!(
+            spec.buckets * 64 <= self.host_mem,
+            "scenario table ({} buckets) exceeds host memory",
+            spec.buckets
+        );
+        let agents: Vec<AgentId> = (0..spec.agents)
+            .map(|_| engine.add_cache(CacheConfig::cpu_l1()))
+            .collect();
+        scenario::run(spec, &mut engine, &agents, PhysAddr::new(0))
+    }
+}
+
+/// The physical memory map [`CohetSystem::fabric`] produces.
+struct Fabric {
+    numa: NumaTopology,
+    mi: MemoryInterface,
+    cpu_node: NodeId,
+    xpu_nodes: Vec<NodeId>,
+    expander_node: Option<NodeId>,
+    expander_range: Option<AddrRange>,
 }
 
 /// Kernel-side memory context handed to XPU kernels: coherent
@@ -702,8 +817,10 @@ mod tests {
     #[test]
     fn multihome_system_stays_coherent() {
         let mut p = CohetSystem::builder()
-            .homes(2)
-            .interleave(4096)
+            .topology(TopologySpec::Interleaved {
+                homes: 2,
+                stride: 4096,
+            })
             .build()
             .spawn_process();
         assert_eq!(p.engine().num_homes(), 2);
@@ -731,7 +848,10 @@ mod tests {
     #[test]
     fn expander_gets_its_own_home_node() {
         let mut p = CohetSystem::builder()
-            .homes(2)
+            .topology(TopologySpec::Interleaved {
+                homes: 2,
+                stride: cohet_os::PAGE_SIZE,
+            })
             .expander_memory(8 << 20)
             .build()
             .spawn_process();
@@ -757,7 +877,10 @@ mod tests {
         // both claims checked here.
         let run = |threads: usize| {
             let mut p = CohetSystem::builder()
-                .homes(2)
+                .topology(TopologySpec::Interleaved {
+                    homes: 2,
+                    stride: cohet_os::PAGE_SIZE,
+                })
                 .parallel(threads)
                 .build()
                 .spawn_process();
@@ -812,8 +935,10 @@ mod tests {
     #[test]
     fn weighted_homes_stripe_proportionally() {
         let p = CohetSystem::builder()
-            .homes(2)
-            .interleave_weighted(vec![3, 1])
+            .topology(TopologySpec::Weighted {
+                weights: vec![3, 1],
+                stride: cohet_os::PAGE_SIZE,
+            })
             .build()
             .spawn_process();
         let topo = p.engine().topology();
@@ -826,18 +951,20 @@ mod tests {
         // 256 MB host split 1:1 over two homes (128 MB per weight unit);
         // a 128 MB expander should auto-weight to exactly 1 unit and a
         // 512 MB one to 4.
+        let spec = TopologySpec::Weighted {
+            weights: vec![1, 1],
+            stride: cohet_os::PAGE_SIZE,
+        };
         let small = CohetSystem::builder()
-            .homes(2)
+            .topology(spec.clone())
             .host_memory(256 << 20)
-            .interleave_weighted(vec![1, 1])
             .expander_memory(128 << 20)
             .build()
             .spawn_process();
         assert_eq!(small.engine().topology().home_weights(), vec![1, 1, 1]);
         let big = CohetSystem::builder()
-            .homes(2)
+            .topology(spec)
             .host_memory(256 << 20)
-            .interleave_weighted(vec![1, 1])
             .expander_memory(512 << 20)
             .build()
             .spawn_process();
@@ -845,13 +972,136 @@ mod tests {
     }
 
     #[test]
+    fn capacity_weighted_spec_derives_weights_from_pools() {
+        let p = CohetSystem::builder()
+            .topology(TopologySpec::CapacityWeighted {
+                stride: cohet_os::PAGE_SIZE,
+            })
+            .host_memory(256 << 20)
+            .expander_memory(128 << 20)
+            .build()
+            .spawn_process();
+        assert_eq!(p.engine().num_homes(), 2);
+        assert_eq!(p.engine().topology().home_weights(), vec![2, 1]);
+        // Without an expander there is only one pool: single home.
+        let solo = CohetSystem::builder()
+            .topology(TopologySpec::CapacityWeighted {
+                stride: cohet_os::PAGE_SIZE,
+            })
+            .build()
+            .spawn_process();
+        assert_eq!(solo.engine().num_homes(), 1);
+    }
+
+    #[test]
     #[should_panic(expected = "one weight per host home")]
+    #[allow(deprecated)]
     fn weighted_count_mismatch_rejected() {
         let _ = CohetSystem::builder()
             .homes(4)
             .interleave_weighted(vec![1, 2])
             .build()
             .spawn_process();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_knobs_fold_to_equivalent_spec() {
+        // Each legacy knob combination must fold to the TopologySpec
+        // that resolves to the same routing Topology.
+        let sys = CohetSystem::builder().homes(4).interleave(8192).build();
+        assert_eq!(
+            *sys.topology_spec(),
+            TopologySpec::Interleaved {
+                homes: 4,
+                stride: 8192
+            }
+        );
+        let sys = CohetSystem::builder()
+            .homes(2)
+            .interleave_weighted(vec![3, 1])
+            .build();
+        assert_eq!(
+            *sys.topology_spec(),
+            TopologySpec::Weighted {
+                weights: vec![3, 1],
+                stride: cohet_os::PAGE_SIZE
+            }
+        );
+        assert_eq!(
+            *CohetSystem::builder().build().topology_spec(),
+            TopologySpec::SingleHome
+        );
+        assert_eq!(
+            *CohetSystem::builder().homes(1).build().topology_spec(),
+            TopologySpec::SingleHome
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_knobs_reproduce_spec_built_system() {
+        // The shim path and the spec path must yield bit-identical
+        // simulations: same routing topology, same values, same
+        // simulated time for the same access pattern.
+        let drive = |sys: CohetSystem| {
+            let mut p = sys.spawn_process();
+            let buf = p.malloc(8 * 4096).unwrap();
+            for i in 0..8u64 {
+                p.write_u64(buf + i * 4096, i * 7).unwrap();
+            }
+            p.launch_kernel(0, 8, move |ctx, i| {
+                let v = ctx.load(buf + i * 4096)?;
+                ctx.store(buf + i * 4096, v + 1)
+            })
+            .unwrap();
+            let vals: Vec<u64> = (0..8u64)
+                .map(|i| p.read_u64(buf + i * 4096).unwrap())
+                .collect();
+            (p.engine().topology().clone(), vals, p.elapsed())
+        };
+        let legacy = drive(
+            CohetSystem::builder()
+                .homes(2)
+                .interleave(4096)
+                .expander_memory(8 << 20)
+                .build(),
+        );
+        let spec = drive(
+            CohetSystem::builder()
+                .topology(TopologySpec::Interleaved {
+                    homes: 2,
+                    stride: 4096,
+                })
+                .expander_memory(8 << 20)
+                .build(),
+        );
+        assert_eq!(legacy, spec);
+        let legacy = drive(
+            CohetSystem::builder()
+                .homes(2)
+                .interleave_weighted(vec![3, 1])
+                .build(),
+        );
+        let spec = drive(
+            CohetSystem::builder()
+                .topology(TopologySpec::Weighted {
+                    weights: vec![3, 1],
+                    stride: cohet_os::PAGE_SIZE,
+                })
+                .build(),
+        );
+        assert_eq!(legacy, spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "not both")]
+    #[allow(deprecated)]
+    fn mixing_spec_and_deprecated_knobs_rejected() {
+        let _ = CohetSystem::builder()
+            .homes(2)
+            .topology(TopologySpec::SingleHome)
+            .build();
     }
 
     #[test]

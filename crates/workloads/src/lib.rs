@@ -10,12 +10,18 @@
 //! * [`kvstore`] and [`graph`] — the in-memory KV-store and graph
 //!   traversal workloads the paper names as future Cohet applications
 //!   (§VIII), used by the extension benches.
+//! * [`scenario`] — the declarative million-client scenario engine:
+//!   phased traffic (ramp / steady / burst / hot-key storm), open- and
+//!   closed-loop arrivals, and per-client session state machines
+//!   multiplexed over a handful of real cache agents.
 
 pub mod axpy;
 pub mod circustent;
 pub mod graph;
 pub mod kvstore;
 pub mod lsu;
+pub mod scenario;
 
 pub use circustent::{CtConfig, CtPattern, RaoOp};
 pub use lsu::{LsuOp, LsuPattern, LsuRequest};
+pub use scenario::{ScenarioOutcome, ScenarioSpec};

@@ -1,0 +1,265 @@
+//! Per-client session state machines.
+//!
+//! Every logical client runs one small state machine describing its
+//! session: which key to touch next, whether to read or write, and how
+//! long to think between accesses. The machine is a transition table —
+//! a map from [`State`] to a boxed [`Handler`] — with explicit terminal
+//! states and a global safety cap bounding runaway sessions, so a buggy
+//! handler can stall one client but never the scenario.
+
+use sim_core::{FxHashMap, FxHashSet, SimRng, Tick};
+
+/// A state in a client session machine. Plain `u8` newtype: machines
+/// are small (a handful of states), and a million concurrent sessions
+/// each carry one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct State(pub u8);
+
+impl State {
+    /// The conventional entry state.
+    pub const START: State = State(0);
+}
+
+/// What a session does on entering a state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Issue one coherent access to `key`'s slot, transition to `then`
+    /// when the access completes.
+    Access {
+        /// Logical key to touch (mapped to a table slot by the
+        /// executor).
+        key: u64,
+        /// Store (`true`) or load (`false`).
+        write: bool,
+        /// State entered at completion time.
+        then: State,
+    },
+    /// Sleep `delay` of simulated time (client-side think time), then
+    /// enter `then`.
+    Think {
+        /// Simulated think time.
+        delay: Tick,
+        /// State entered when the timer fires.
+        then: State,
+    },
+    /// Session complete.
+    Done,
+}
+
+/// Per-step context handed to a [`Handler`]: everything a handler may
+/// consult or mutate. Handlers themselves are stateless — all mutable
+/// session state lives here and in the executor's session record.
+pub struct StepCtx<'a> {
+    /// Logical client id (unique per session).
+    pub client: u64,
+    /// Steps this session has executed so far.
+    pub step: u32,
+    /// Size of the scenario's key space.
+    pub keys: u64,
+    /// Hot-set override from the active traffic phase:
+    /// `(hot_keys, hot_fraction)`.
+    pub hot: Option<(u64, f64)>,
+    /// Key touched by this session's most recent access.
+    pub last_key: u64,
+    /// Value observed by this session's most recent access.
+    pub last_value: u64,
+    /// The scenario's deterministic RNG (shared; draw order is part of
+    /// the reproducible schedule).
+    pub rng: &'a mut SimRng,
+}
+
+impl StepCtx<'_> {
+    /// Draws a key honoring the active phase's hot-set skew (uniform
+    /// over the key space when no hot set is active).
+    pub fn pick_key(&mut self) -> u64 {
+        if let Some((hot_keys, hot_fraction)) = self.hot {
+            let hot = hot_keys.min(self.keys).max(1);
+            if self.rng.chance(hot_fraction) {
+                return self.rng.below(hot);
+            }
+            if self.keys > hot {
+                return hot + self.rng.below(self.keys - hot);
+            }
+        }
+        self.rng.below(self.keys)
+    }
+}
+
+/// A state's behavior. Implemented for free by any
+/// `Fn(&mut StepCtx<'_>) -> Action` closure.
+pub trait Handler {
+    /// Decides the session's next action on entering the state.
+    fn on_enter(&self, ctx: &mut StepCtx<'_>) -> Action;
+}
+
+impl<F: Fn(&mut StepCtx<'_>) -> Action> Handler for F {
+    fn on_enter(&self, ctx: &mut StepCtx<'_>) -> Action {
+        self(ctx)
+    }
+}
+
+/// The session machine: `State -> Handler` transition table plus
+/// terminal states and the global safety cap.
+///
+/// ```
+/// use simcxl_workloads::scenario::{Action, State, TransitionTable};
+///
+/// // Read one random key, then write it back, then done.
+/// let table = TransitionTable::new(State::START)
+///     .on(State(0), |ctx: &mut simcxl_workloads::scenario::StepCtx<'_>| {
+///         let key = ctx.pick_key();
+///         Action::Access { key, write: false, then: State(1) }
+///     })
+///     .on(State(1), |ctx: &mut simcxl_workloads::scenario::StepCtx<'_>| {
+///         Action::Access { key: ctx.last_key, write: true, then: State(2) }
+///     })
+///     .terminal(State(2));
+/// assert!(table.is_terminal(State(2)));
+/// assert_eq!(table.start(), State::START);
+/// ```
+pub struct TransitionTable {
+    handlers: FxHashMap<State, Box<dyn Handler>>,
+    terminal: FxHashSet<State>,
+    start: State,
+    safety_cap: u32,
+}
+
+impl TransitionTable {
+    /// Default per-session step bound: generous for any sane session,
+    /// tiny next to a scenario's total work.
+    pub const DEFAULT_SAFETY_CAP: u32 = 256;
+
+    /// Creates an empty table entered at `start`.
+    pub fn new(start: State) -> Self {
+        TransitionTable {
+            handlers: FxHashMap::default(),
+            terminal: FxHashSet::default(),
+            start,
+            safety_cap: Self::DEFAULT_SAFETY_CAP,
+        }
+    }
+
+    /// Registers `handler` for `state` (replacing any previous one).
+    pub fn on(mut self, state: State, handler: impl Handler + 'static) -> Self {
+        self.handlers.insert(state, Box::new(handler));
+        self
+    }
+
+    /// Marks `state` terminal: a session entering it is complete.
+    pub fn terminal(mut self, state: State) -> Self {
+        self.terminal.insert(state);
+        self
+    }
+
+    /// Overrides the per-session step bound. A session reaching the cap
+    /// is force-finished (and reported as capped) instead of looping
+    /// forever.
+    pub fn safety_cap(mut self, cap: u32) -> Self {
+        assert!(cap > 0, "a zero cap would finish every session at birth");
+        self.safety_cap = cap;
+        self
+    }
+
+    /// The entry state.
+    pub fn start(&self) -> State {
+        self.start
+    }
+
+    /// The per-session step bound.
+    pub fn cap(&self) -> u32 {
+        self.safety_cap
+    }
+
+    /// Whether `state` ends the session.
+    pub fn is_terminal(&self, state: State) -> bool {
+        self.terminal.contains(&state)
+    }
+
+    /// Runs the handler for `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine has no handler for a non-terminal `state`
+    /// — a malformed table, caught loudly rather than stalling clients.
+    pub fn dispatch(&self, state: State, ctx: &mut StepCtx<'_>) -> Action {
+        match self.handlers.get(&state) {
+            Some(h) => h.on_enter(ctx),
+            None => panic!("no handler for non-terminal {state:?}"),
+        }
+    }
+}
+
+impl std::fmt::Debug for TransitionTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransitionTable")
+            .field("states", &self.handlers.len())
+            .field("terminal", &self.terminal.len())
+            .field("start", &self.start)
+            .field("safety_cap", &self.safety_cap)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_with(rng: &mut SimRng) -> StepCtx<'_> {
+        StepCtx {
+            client: 0,
+            step: 0,
+            keys: 100,
+            hot: None,
+            last_key: 0,
+            last_value: 0,
+            rng,
+        }
+    }
+
+    #[test]
+    fn closure_handlers_dispatch() {
+        let table = TransitionTable::new(State(0))
+            .on(State(0), |_: &mut StepCtx<'_>| Action::Done)
+            .terminal(State(1));
+        let mut rng = SimRng::new(1);
+        let mut ctx = ctx_with(&mut rng);
+        assert_eq!(table.dispatch(State(0), &mut ctx), Action::Done);
+        assert!(table.is_terminal(State(1)));
+        assert!(!table.is_terminal(State(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no handler")]
+    fn missing_handler_is_loud() {
+        let table = TransitionTable::new(State(0));
+        let mut rng = SimRng::new(1);
+        let mut ctx = ctx_with(&mut rng);
+        table.dispatch(State(9), &mut ctx);
+    }
+
+    #[test]
+    fn hot_set_skews_key_choice() {
+        let mut rng = SimRng::new(7);
+        let mut ctx = StepCtx {
+            client: 0,
+            step: 0,
+            keys: 1000,
+            hot: Some((10, 0.9)),
+            last_key: 0,
+            last_value: 0,
+            rng: &mut rng,
+        };
+        let hot = (0..2000).filter(|_| ctx.pick_key() < 10).count();
+        let frac = hot as f64 / 2000.0;
+        assert!((frac - 0.9).abs() < 0.05, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn uniform_without_hot_set() {
+        let mut rng = SimRng::new(7);
+        let mut ctx = ctx_with(&mut rng);
+        for _ in 0..100 {
+            assert!(ctx.pick_key() < 100);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Phased traffic shapes and their deterministic arrival schedules.
+//!
+//! A scenario is a sequence of phases — ramp-up, steady state, a burst,
+//! an adversarial hot-key storm — each with a simulated duration and a
+//! [`Traffic`] shape. Arrival instants are computed by inverting the
+//! shape's cumulative rate integral, so the schedule is a pure function
+//! of the spec: no RNG draw is spent on arrival timing, and determinism
+//! holds by construction.
+
+use sim_core::Tick;
+
+/// The traffic shape of one phase. Rates are *relative*: the scenario's
+/// total client population is split across phases in proportion to each
+/// phase's `mean_rate() * duration`, then each phase schedules its
+/// share according to its shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Traffic {
+    /// Linearly ramping arrival rate, `from` to `to`, across the phase.
+    Ramp {
+        /// Relative rate at the start of the phase.
+        from: f64,
+        /// Relative rate at the end of the phase.
+        to: f64,
+    },
+    /// Constant arrival rate.
+    Steady {
+        /// Relative rate.
+        rate: f64,
+    },
+    /// Thundering herd: the phase's whole population arrives uniformly
+    /// within the first quarter of the phase, then silence.
+    Burst {
+        /// Relative rate (still weighted over the whole duration).
+        rate: f64,
+    },
+    /// Steady arrivals whose key choice is skewed onto a small hot set
+    /// (adversarial contention: every client hammers the same lines).
+    HotKey {
+        /// Relative rate.
+        rate: f64,
+        /// Size of the hot set.
+        hot_keys: u64,
+        /// Probability mass on the hot set.
+        hot_fraction: f64,
+    },
+}
+
+impl Traffic {
+    /// Mean relative rate over the phase (the phase's share weight).
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            Traffic::Ramp { from, to } => (from + to) / 2.0,
+            Traffic::Steady { rate } | Traffic::Burst { rate } | Traffic::HotKey { rate, .. } => {
+                rate
+            }
+        }
+    }
+
+    /// Hot-set override this shape imposes on key selection.
+    pub fn hot(&self) -> Option<(u64, f64)> {
+        match *self {
+            Traffic::HotKey {
+                hot_keys,
+                hot_fraction,
+                ..
+            } => Some((hot_keys, hot_fraction)),
+            _ => None,
+        }
+    }
+
+    /// Offset (from the phase start) of arrival `j` of `n`, for a phase
+    /// of duration `d` — the inverse of the shape's normalized
+    /// cumulative rate at quantile `(j + ½) / n`.
+    pub fn arrival_offset(&self, j: u64, n: u64, d: Tick) -> Tick {
+        assert!(j < n, "arrival index out of range");
+        let frac = (j as f64 + 0.5) / n as f64;
+        let d_ns = d.as_ns_f64();
+        let at_ns = match *self {
+            Traffic::Steady { .. } | Traffic::HotKey { .. } => frac * d_ns,
+            Traffic::Burst { .. } => frac * d_ns * 0.25,
+            Traffic::Ramp { from, to } => {
+                // F(t) = (from·t + (to-from)·t²/2D) / (D·(from+to)/2);
+                // solve F(t) = frac for t.
+                let a = (to - from) / (2.0 * d_ns);
+                let b = from;
+                let c = frac * d_ns * (from + to) / 2.0;
+                if a.abs() < f64::EPSILON {
+                    c / b
+                } else {
+                    (-b + (b * b + 4.0 * a * c).sqrt()) / (2.0 * a)
+                }
+            }
+        };
+        Tick::from_ns_f64(at_ns)
+    }
+}
+
+/// One phase: a name (reported verbatim), a simulated duration, and a
+/// traffic shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpec {
+    /// Phase name, carried into the per-phase report.
+    pub name: String,
+    /// Simulated duration of the phase.
+    pub duration: Tick,
+    /// Arrival shape.
+    pub traffic: Traffic,
+}
+
+impl PhaseSpec {
+    /// Creates a phase.
+    pub fn new(name: impl Into<String>, duration: Tick, traffic: Traffic) -> Self {
+        let duration_ok = duration > Tick::ZERO;
+        assert!(duration_ok, "a phase needs a nonzero duration");
+        PhaseSpec {
+            name: name.into(),
+            duration,
+            traffic,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_arrivals_form_a_uniform_grid() {
+        let t = Traffic::Steady { rate: 1.0 };
+        let d = Tick::from_us(100);
+        let offs: Vec<f64> = (0..4)
+            .map(|j| t.arrival_offset(j, 4, d).as_ns_f64())
+            .collect();
+        assert_eq!(offs, vec![12_500.0, 37_500.0, 62_500.0, 87_500.0]);
+    }
+
+    #[test]
+    fn burst_compresses_into_first_quarter() {
+        let t = Traffic::Burst { rate: 1.0 };
+        let d = Tick::from_us(100);
+        for j in 0..100 {
+            assert!(t.arrival_offset(j, 100, d) <= Tick::from_us(25));
+        }
+    }
+
+    #[test]
+    fn ramp_arrivals_densify_toward_the_end() {
+        let t = Traffic::Ramp { from: 0.0, to: 2.0 };
+        let d = Tick::from_us(100);
+        // Quantile 0.25 of a 0->r ramp lands at t = D·√0.25 = D/2.
+        let q25 = t.arrival_offset(0, 2, d); // frac = 0.25
+        assert!(
+            (q25.as_ns_f64() - d.as_ns_f64() / 2.0).abs() < 2.0,
+            "{q25:?}"
+        );
+        // Monotone and within the phase.
+        let offs: Vec<f64> = (0..50)
+            .map(|j| t.arrival_offset(j, 50, d).as_ns_f64())
+            .collect();
+        for w in offs.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(*offs.last().unwrap() <= d.as_ns_f64());
+        // Back half holds more arrivals than the front half.
+        let front = offs.iter().filter(|&&o| o < d.as_ns_f64() / 2.0).count();
+        assert!(front < 25, "front half holds {front} of 50");
+    }
+
+    #[test]
+    fn flat_ramp_degenerates_to_steady() {
+        let ramp = Traffic::Ramp { from: 3.0, to: 3.0 };
+        let steady = Traffic::Steady { rate: 3.0 };
+        let d = Tick::from_us(10);
+        for j in 0..10 {
+            let a = ramp.arrival_offset(j, 10, d).as_ns_f64();
+            let b = steady.arrival_offset(j, 10, d).as_ns_f64();
+            assert!((a - b).abs() < 1.0, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mean_rates_weight_phases() {
+        assert_eq!(Traffic::Ramp { from: 0.0, to: 4.0 }.mean_rate(), 2.0);
+        assert_eq!(Traffic::Steady { rate: 5.0 }.mean_rate(), 5.0);
+        assert!(Traffic::HotKey {
+            rate: 1.0,
+            hot_keys: 4,
+            hot_fraction: 0.9
+        }
+        .hot()
+        .is_some());
+    }
+}

@@ -103,16 +103,21 @@ fn main() {
     );
     println!("  home  role       requests  llc_hits  mem_fetch  snoops");
     let roles = ["socket 0", "socket 1", "expander"];
-    assert_eq!(eng.num_homes(), roles.len());
-    for (h, role) in roles.iter().enumerate() {
-        let s = eng.home_stats_for(HomeId(h));
+    let view = eng.home_stats_view();
+    assert_eq!(view.len(), roles.len());
+    for (h, s) in view.iter() {
+        let role = roles[h.index()];
         println!(
-            "  {h:<5} {role:<10} {:>8}  {:>8}  {:>9}  {:>6}",
-            s.requests, s.llc_hits, s.mem_fetches, s.snoops_sent
+            "  {:<5} {role:<10} {:>8}  {:>8}  {:>9}  {:>6}",
+            h.index(),
+            s.requests,
+            s.llc_hits,
+            s.mem_fetches,
+            s.snoops_sent
         );
-        assert!(s.requests > 0, "home {h} saw no traffic");
+        assert!(s.requests > 0, "{h} saw no traffic");
     }
-    let agg = eng.home_stats();
+    let agg = view.total();
     println!(
         "aggregate: {} requests, {} LLC hits, {} memory fetches",
         agg.requests, agg.llc_hits, agg.mem_fetches

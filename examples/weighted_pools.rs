@@ -75,16 +75,17 @@ fn main() {
     eng.run_to_quiescence();
     eng.verify_invariants();
 
+    // One snapshot for everything below: totals, per-home rows and the
+    // deviation all read the same HomeStatsView.
+    let view = eng.home_stats_view();
     let total_w: u64 = weights.iter().sum();
-    let total_req: u64 = (0..eng.num_homes())
-        .map(|h| eng.home_stats_for(HomeId(h)).requests)
-        .sum();
+    let total_req: u64 = view.total().requests;
     println!("weighted 4:1 host+expander run complete at {}", eng.now());
     println!("  home  role       weight  requests  share   target");
     let roles = ["host", "expander"];
     let mut worst = 0.0f64;
     for (h, role) in roles.iter().enumerate() {
-        let s = eng.home_stats_for(HomeId(h));
+        let s = view.get(HomeId(h)).expect("home in view");
         let share = s.requests as f64 / total_req as f64;
         let target = weights[h] as f64 / total_w as f64;
         worst = worst.max((share - target).abs() / target);

@@ -370,6 +370,41 @@ proptest! {
         prop_assert_eq!(seq.home_stats(), par.home_stats());
     }
 
+    /// Scenario runs are deterministic functions of the spec: identical
+    /// specs reproduce identical outcomes, and the `parallel` thread
+    /// count never changes the stream (the executor drives the engine
+    /// tick-batch by tick-batch, which is thread-count invariant).
+    #[test]
+    fn scenario_outcomes_thread_and_rerun_invariant(
+        seed in any::<u64>(),
+        clients in 50u64..400,
+        threads in 2usize..5,
+        closed in any::<bool>(),
+    ) {
+        use cohet::{CohetSystem, TopologySpec};
+        use simcxl_workloads::scenario::{self, Arrival};
+        let mut spec = scenario::ramp_then_burst(clients, seed);
+        spec.agents = 4;
+        spec.keys = 1 << 10;
+        spec.buckets = 1 << 11;
+        if closed {
+            spec.arrival = Arrival::Closed { concurrency: 8 };
+        }
+        let run = |threads: usize| {
+            CohetSystem::builder()
+                .topology(TopologySpec::Interleaved { homes: 2, stride: 4096 })
+                .parallel(threads)
+                .build()
+                .run_scenario(&spec)
+        };
+        let base = run(1);
+        prop_assert_eq!(base.completed + base.capped, spec.clients);
+        let with_threads = run(threads);
+        prop_assert_eq!(&base, &with_threads, "thread count changed the outcome");
+        let again = run(1);
+        prop_assert_eq!(&base, &again, "identical spec failed to reproduce");
+    }
+
     /// CircusTent streams always target the configured footprint and
     /// are deterministic in their seed.
     #[test]
