@@ -2,6 +2,7 @@
 //! Criterion benches: every function prints the same rows/series the
 //! paper's corresponding table or figure shows.
 
+pub mod faults;
 pub mod hotpath;
 pub mod scenarios;
 

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! simcxl-report [table1|fig12|fig13|fig14|fig15|fig16|fig17|fig18|
-//!                calibration|headline|shapes|hotpath|scenarios|all]
+//!                calibration|headline|shapes|hotpath|scenarios|faults|
+//!                all]
 //!               [--json] [--quick] [--summary] [--check-determinism]
 //!               [--expect-mode=full|quick]
 //! ```
@@ -11,17 +12,21 @@
 //! writes `BENCH_hotpath.json` (see README for the schema).
 //! `scenarios` runs the three canonical million-client client
 //! scenarios the same way, writing `BENCH_scenarios.json` under
-//! `--json`. `--quick` selects the reduced CI smoke workload. Two
-//! read-only modes operate on the already-written report file instead
-//! of re-running anything (both exit 2 if the file is unreadable):
+//! `--json`. `faults` runs the three canonical degradation scenarios
+//! (flaky link, stalling expander, drain under load), writing
+//! `BENCH_faults.json` under `--json` — the run itself asserts the
+//! degradation gates before writing. `--quick` selects the reduced CI
+//! smoke workload. Two read-only modes operate on the already-written
+//! report file instead of re-running anything (both exit 2 if the file
+//! is unreadable):
 //!
-//! * `hotpath|scenarios --summary` prints the per-variant summary
-//!   blocks (what CI logs instead of ad-hoc JSON digging).
-//! * `hotpath|scenarios --check-determinism` verifies the pinned
-//!   checksums for the report's mode and exits 1 on drift — the gating
-//!   determinism canaries of the CI perf job (`hotpath` pins the
-//!   `stress` checksum, `scenarios` pins all three scenario
-//!   checksums). `--expect-mode=quick` additionally fails (exit 1)
+//! * `hotpath|scenarios|faults --summary` prints the per-variant
+//!   summary blocks (what CI logs instead of ad-hoc JSON digging).
+//! * `hotpath|scenarios|faults --check-determinism` verifies the
+//!   pinned checksums for the report's mode and exits 1 on drift — the
+//!   gating determinism canaries of the CI perf job (`hotpath` pins
+//!   the `stress` checksum, `scenarios` and `faults` pin all three of
+//!   their case checksums). `--expect-mode=quick` additionally fails (exit 1)
 //!   unless the file records that mode: CI uses it to prove the
 //!   checked file was written by *this run's* quick bench rather than
 //!   falling back to the committed full-mode file when the bench step
@@ -39,18 +44,18 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "all".to_owned());
     if summary || check {
-        if arg != "hotpath" && arg != "scenarios" {
+        if arg != "hotpath" && arg != "scenarios" && arg != "faults" {
             eprintln!(
-                "--summary/--check-determinism apply to the hotpath and scenarios \
-                 reports: run `simcxl-report hotpath|scenarios \
+                "--summary/--check-determinism apply to the hotpath, scenarios, \
+                 and faults reports: run `simcxl-report hotpath|scenarios|faults \
                  --summary|--check-determinism`"
             );
             std::process::exit(2);
         }
-        let path = if arg == "hotpath" {
-            simcxl_bench::hotpath::report_path()
-        } else {
-            simcxl_bench::scenarios::report_path()
+        let path = match arg.as_str() {
+            "hotpath" => simcxl_bench::hotpath::report_path(),
+            "scenarios" => simcxl_bench::scenarios::report_path(),
+            _ => simcxl_bench::faults::report_path(),
         };
         let report = match std::fs::read_to_string(path) {
             Ok(r) => r,
@@ -60,10 +65,10 @@ fn main() {
             }
         };
         if summary {
-            if arg == "hotpath" {
-                print!("{}", simcxl_bench::hotpath::summary(&report));
-            } else {
-                print!("{}", simcxl_bench::scenarios::summary(&report));
+            match arg.as_str() {
+                "hotpath" => print!("{}", simcxl_bench::hotpath::summary(&report)),
+                "scenarios" => print!("{}", simcxl_bench::scenarios::summary(&report)),
+                _ => print!("{}", simcxl_bench::faults::summary(&report)),
             }
         }
         if check {
@@ -82,11 +87,11 @@ fn main() {
                     std::process::exit(1);
                 }
             }
-            let verdict = if arg == "hotpath" {
-                simcxl_bench::hotpath::check_determinism(&report)
-                    .map(|sum| format!("stress checksum {sum:#018x} matches the pin"))
-            } else {
-                simcxl_bench::scenarios::check_determinism(&report)
+            let verdict = match arg.as_str() {
+                "hotpath" => simcxl_bench::hotpath::check_determinism(&report)
+                    .map(|sum| format!("stress checksum {sum:#018x} matches the pin")),
+                "scenarios" => simcxl_bench::scenarios::check_determinism(&report),
+                _ => simcxl_bench::faults::check_determinism(&report),
             };
             match verdict {
                 Ok(msg) => println!("determinism ok: {msg}"),
@@ -115,6 +120,15 @@ fn main() {
                         .expect("writing BENCH_scenarios.json failed")
                 } else {
                     simcxl_bench::scenarios::report_json(quick)
+                };
+                print!("{out}");
+            }
+            "faults" => {
+                let out = if json {
+                    simcxl_bench::faults::write_report(quick)
+                        .expect("writing BENCH_faults.json failed")
+                } else {
+                    simcxl_bench::faults::report_json(quick)
                 };
                 print!("{out}");
             }

@@ -4,6 +4,7 @@
 use crate::array::LineState;
 use crate::cache::{CacheAgent, CacheStats, Outbox};
 use crate::config::{CacheConfig, EngineConfig, HomeConfig, ParallelConfig};
+use crate::fault::{self, FaultPlan, FaultState, FaultStatsView, Hop, RehomeStats};
 use crate::funcmem::FuncMem;
 use crate::home::{DirEntry, HomeAgent, HomeOutbox, HomeStats};
 use crate::msg::{AgentId, HitLevel, MemOp, Msg, MsgKind, ReqId};
@@ -91,6 +92,7 @@ pub struct ProtocolEngineBuilder {
     memory: Option<MemoryInterface>,
     jitter_ns: Option<(u64, f64)>,
     parallel: Option<ParallelConfig>,
+    fault: Option<FaultPlan>,
 }
 
 impl ProtocolEngineBuilder {
@@ -178,6 +180,17 @@ impl ProtocolEngineBuilder {
         self
     }
 
+    /// Arms a deterministic fault-injection plan (see
+    /// [`fault`] module). Fault decisions are pure functions of
+    /// the plan's seed and each message's own coordinates, so the same
+    /// plan reproduces bit-identical completion streams at any thread
+    /// count; they only ever *add* latency, preserving the parallel
+    /// executor's lookahead bound. An empty plan is equivalent to none.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
     /// Builds the engine.
     ///
     /// # Panics
@@ -214,11 +227,21 @@ impl ProtocolEngineBuilder {
                 .collect(),
             numa_extra: Vec::new(),
         };
-        let homes = home_cfgs
+        let homes: Vec<HomeAgent> = home_cfgs
             .into_iter()
             .enumerate()
             .map(|(i, cfg)| HomeAgent::new(HomeId(i), cfg))
             .collect();
+        let fault = self.fault.filter(|p| !p.is_empty()).map(|plan| {
+            if let Some(h) = plan.max_home() {
+                assert!(
+                    h < homes.len(),
+                    "fault plan names home {h} but the topology has {} homes",
+                    homes.len()
+                );
+            }
+            FaultState::new(&plan, homes.len())
+        });
         ProtocolEngine {
             queue: EventQueue::new(),
             next_seq: 0,
@@ -237,6 +260,7 @@ impl ProtocolEngineBuilder {
             home_outbox: HomeOutbox::default(),
             parallel: self.parallel,
             parallel_runs: 0,
+            fault,
         }
     }
 }
@@ -276,6 +300,8 @@ pub struct ProtocolEngine {
     pub(crate) parallel: Option<ParallelConfig>,
     /// How many runs actually engaged the parallel executor.
     pub(crate) parallel_runs: u64,
+    /// Armed fault-injection plan and its counters, if any.
+    pub(crate) fault: Option<FaultState>,
 }
 
 impl ProtocolEngine {
@@ -664,8 +690,21 @@ impl ProtocolEngine {
         for (tick, dst, mut msg) in out.msgs.drain(..) {
             // Route home-bound traffic to the shard owning the line;
             // the cache itself is topology-blind.
+            let mut tick = tick;
             if dst == AgentId::HOME {
                 msg.home = self.topology.home_for(msg.addr);
+                if let Some(f) = &mut self.fault {
+                    tick = fault::perturb_link(
+                        &f.core,
+                        &mut f.link,
+                        Hop::CacheToHome {
+                            from: msg.from,
+                            home: msg.home,
+                        },
+                        tick,
+                        msg.addr,
+                    );
+                }
             }
             self.push_ev(
                 tick,
@@ -694,6 +733,18 @@ impl ProtocolEngine {
 
     fn drain_home_outbox(&mut self, mut out: HomeOutbox) {
         for (tick, dst, msg, level) in out.msgs.drain(..) {
+            let mut tick = tick;
+            if let Some(f) = &mut self.fault {
+                let hop = if dst == AgentId::MEMORY {
+                    Hop::HomeToMem { home: msg.home }
+                } else {
+                    Hop::HomeToCache {
+                        dst,
+                        home: msg.home,
+                    }
+                };
+                tick = fault::perturb_link(&f.core, &mut f.link, hop, tick, msg.addr);
+            }
             self.push_ev(tick, Ev::Deliver { dst, msg, level });
         }
         self.home_outbox = out;
@@ -724,14 +775,29 @@ impl ProtocolEngine {
         let (_, front) = self.mem.ports[msg.home.index()];
         match msg.kind {
             MsgKind::MemRd => {
-                let start = now + front + extra;
+                let mut start = now + front + extra;
+                if let Some(f) = &mut self.fault {
+                    // Slow/stall windows gate service start; the request
+                    // queues (the DRAM model serializes it after release)
+                    // rather than being dropped.
+                    start = fault::perturb_mem_start(f, msg.home, start);
+                }
                 let done = self
                     .mem
                     .mi
                     .read(start, msg.addr, simcxl_mem::CACHELINE_BYTES)
                     .unwrap_or_else(|| panic!("no memory claims {}", msg.addr));
                 let link = &mut self.mem.ports[msg.home.index()].0;
-                let arrival = link.send(done + extra, MsgKind::MemData.bytes());
+                let mut arrival = link.send(done + extra, MsgKind::MemData.bytes());
+                if let Some(f) = &mut self.fault {
+                    arrival = fault::perturb_link(
+                        &f.core,
+                        &mut f.link,
+                        Hop::MemToHome { home: msg.home },
+                        arrival,
+                        msg.addr,
+                    );
+                }
                 Some((
                     arrival,
                     Msg {
@@ -743,7 +809,10 @@ impl ProtocolEngine {
                 ))
             }
             MsgKind::MemWr => {
-                let start = now + front + extra;
+                let mut start = now + front + extra;
+                if let Some(f) = &mut self.fault {
+                    start = fault::perturb_mem_start(f, msg.home, start);
+                }
                 let _ = self
                     .mem
                     .mi
@@ -895,6 +964,69 @@ impl ProtocolEngine {
                 }
             }
         }
+    }
+
+    /// A snapshot of the fault counters, if a plan is armed: aggregate
+    /// link retry/backoff totals plus per-memory-port slow/stall/
+    /// starvation counters (the fault-layer analog of
+    /// [`home_stats_view`](Self::home_stats_view)).
+    pub fn fault_stats(&self) -> Option<FaultStatsView> {
+        self.fault.as_ref().map(FaultState::view)
+    }
+
+    /// Re-points the directory at `new_topology` — the planned
+    /// drain/hot-remove path. Every directory entry whose address the
+    /// new topology homes elsewhere migrates to its new home (entries
+    /// with live peer copies *must* move for coherence to survive;
+    /// LLC-only entries move too, modelling the drain copying the
+    /// device's LLC contents out with its data). Call at a quiescent
+    /// phase boundary; the engine stays fully consistent, so
+    /// [`verify_invariants`](Self::verify_invariants) passes on both
+    /// sides of the swap.
+    ///
+    /// The home count cannot change: a drained home simply ends up
+    /// owning no addresses (and the parallel executor's shard map,
+    /// rebuilt from [`Topology::home_weights`] on the next run, stops
+    /// scheduling it alongside hot shards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is not quiescent or `new_topology` has a
+    /// different home count.
+    pub fn rehome(&mut self, new_topology: Topology) -> RehomeStats {
+        assert!(
+            self.is_quiescent(),
+            "rehome requires a quiescent engine (drain traffic first)"
+        );
+        assert_eq!(
+            new_topology.homes(),
+            self.homes.len(),
+            "rehome cannot change the home count"
+        );
+        let mut stats = RehomeStats::default();
+        let mut moved: Vec<(PhysAddr, DirEntry, HomeId)> = Vec::new();
+        for h in &mut self.homes {
+            let hid = h.id();
+            let leaving: Vec<(u64, DirEntry)> = h
+                .dir_iter()
+                .filter(|(key, _)| new_topology.home_for(PhysAddr::new(*key)) != hid)
+                .map(|(key, entry)| (key, *entry))
+                .collect();
+            for (key, entry) in leaving {
+                let addr = PhysAddr::new(key);
+                h.flush_line(addr);
+                stats.moved += 1;
+                if entry.owner.is_some() || !entry.sharers.is_empty() {
+                    stats.with_peers += 1;
+                }
+                moved.push((addr, entry, new_topology.home_for(addr)));
+            }
+        }
+        for (addr, entry, dst) in moved {
+            self.homes[dst.index()].preload(addr, entry);
+        }
+        self.topology = new_topology;
+        stats
     }
 }
 

@@ -1,0 +1,869 @@
+//! Deterministic, seeded fault injection for the protocol engine.
+//!
+//! A [`FaultPlan`] is a list of timed, composable fault events — link
+//! degradation windows, slow or fully stalled memory ports — that the
+//! engine consults on its hot paths. The central design constraint is
+//! that every fault decision must be a *pure function* of the fault
+//! seed and the affected message's own coordinates (endpoint, line
+//! address, and the active window), never of processing order:
+//!
+//! * the same seed and plan reproduce bit-identical completion streams
+//!   on every rerun **at any thread count** — the parallel executor's
+//!   shards evaluate the same predicate on the same coordinates and
+//!   reach the same verdict without coordination;
+//! * faults only ever *add* latency. A delivery is never pulled
+//!   earlier, so the parallel engine's conservative lookahead window
+//!   (a lower bound on cross-shard message latency) remains valid;
+//! * delivery stays FIFO per (channel, line). The coherence protocol
+//!   relies on send order for messages about one line on one channel;
+//!   a retry penalty that varied per transfer could let a later send
+//!   overtake an earlier one and corrupt the directory. So within a
+//!   window the penalty is *constant* for a given (rule, channel,
+//!   line), and when a window closes the penalty ramps down linearly
+//!   (residual backlog behind the last replays) instead of dropping to
+//!   zero — delivery time is a monotone function of send time.
+//!
+//! Injection hooks sit at the three places timing is decided:
+//! cache→home and home→cache message delivery (link retry/replay with
+//! bounded exponential backoff), home→mem and mem→home transfers (the
+//! same, on the memory side), and memory-port service start (latency
+//! inflation and stall-until-window-end with a starvation watchdog).
+//! Requests delayed by a stall are queued behind the window, not lost;
+//! the DRAM model then serializes them as usual.
+//!
+//! The drain/hot-remove path is separate: [`ProtocolEngine::rehome`]
+//! re-points the directory topology at a quiescent boundary and
+//! migrates the affected directory entries, reported via
+//! [`RehomeStats`].
+//!
+//! [`ProtocolEngine::rehome`]: crate::ProtocolEngine::rehome
+
+use crate::msg::AgentId;
+use crate::topology::HomeId;
+use sim_core::{mix64, Tick, Window};
+use simcxl_mem::PhysAddr;
+use std::ops::AddAssign;
+use std::sync::Arc;
+
+/// Which link class a [`FaultKind::LinkDegrade`] event targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkClass {
+    /// Cache↔home hops (requests up, snoops/grants down).
+    CacheHome,
+    /// Home↔mem hops (fetch requests down, data replies up).
+    HomeMem,
+}
+
+/// One kind of injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flit corruption on a link class: a deterministic `1/period`
+    /// sample of (channel, line) pairs is retried `1..=max_retries`
+    /// times per transfer, each replay paying exponentially growing
+    /// backoff (retry *k* waits `backoff * 2^(k-1)`, so a faulted
+    /// transfer with `n` retries is delayed by `backoff * (2^n - 1)` in
+    /// total). The induced delivery delay extends the home agent's
+    /// per-line serialization occupancy, which is how retry storms
+    /// back-pressure the rest of the fabric. The sample is drawn per
+    /// (channel, line), not per transfer, so same-line traffic on a
+    /// channel shifts uniformly and delivery order is preserved (see
+    /// the module docs); after the window closes, affected transfers
+    /// keep queuing behind the residual replay backlog, which drains
+    /// at wire speed.
+    LinkDegrade {
+        /// Which link class degrades.
+        class: LinkClass,
+        /// Restrict to hops homed at this agent (`None`: all homes).
+        home: Option<HomeId>,
+        /// One in `period` (channel, line) pairs is faulted (`1` =
+        /// every transfer).
+        period: u64,
+        /// Upper bound on replays per faulted transfer (≥ 1).
+        max_retries: u32,
+        /// Backoff unit for the first replay.
+        backoff: Tick,
+    },
+    /// A slow expander: every request serviced by this memory port
+    /// while the window is open starts `extra` later (device-internal
+    /// congestion, thermal throttling, ...).
+    SlowMemPort {
+        /// The home whose memory port is slow.
+        port: HomeId,
+        /// Added service-start latency.
+        extra: Tick,
+    },
+    /// A stalled expander: requests reaching this memory port while the
+    /// window is open queue (they are not lost) and start service only
+    /// when the window closes. A watchdog flags any request that waited
+    /// longer than `watchdog` as starved.
+    StallMemPort {
+        /// The home whose memory port stalls.
+        port: HomeId,
+        /// Waits longer than this are counted as starvation.
+        watchdog: Tick,
+    },
+}
+
+/// A [`FaultKind`] active over a [`Window`] of simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the fault is active (half-open, in absolute sim time).
+    pub window: Window,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, seeded schedule of fault events.
+///
+/// Events compose: overlapping link windows all sample independently
+/// and the strongest penalty wins (retry storms don't stack — the
+/// slowest path dominates, which also keeps per-channel delivery
+/// monotone where residual ramps overlap). The seed decorrelates the
+/// sampling of independent events and plans; two plans with different
+/// seeds degrade different transfers.
+///
+/// ```
+/// use sim_core::Tick;
+/// use simcxl_coherence::fault::{FaultKind, FaultPlan, LinkClass};
+///
+/// let plan = FaultPlan::new(7).with(
+///     Tick::from_us(10),
+///     Tick::from_us(20),
+///     FaultKind::LinkDegrade {
+///         class: LinkClass::CacheHome,
+///         home: None,
+///         period: 4,
+///         max_retries: 3,
+///         backoff: Tick::from_ns(50),
+///     },
+/// );
+/// assert_eq!(plan.events().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given sampling seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Adds `kind` active over `[from, until)` and returns the plan
+    /// (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty window or degenerate parameters (zero
+    /// `period`, zero `max_retries` or more than 16 — the exponential
+    /// backoff is bounded — zero `backoff`/`extra`/`watchdog`).
+    pub fn with(mut self, from: Tick, until: Tick, kind: FaultKind) -> Self {
+        match kind {
+            FaultKind::LinkDegrade {
+                period,
+                max_retries,
+                backoff,
+                ..
+            } => {
+                assert!(period >= 1, "link-degrade period must be >= 1");
+                assert!(
+                    (1..=16).contains(&max_retries),
+                    "max_retries must be in 1..=16, got {max_retries}"
+                );
+                assert!(backoff > Tick::ZERO, "backoff must be nonzero");
+            }
+            FaultKind::SlowMemPort { extra, .. } => {
+                assert!(extra > Tick::ZERO, "slow-port extra must be nonzero");
+            }
+            FaultKind::StallMemPort { watchdog, .. } => {
+                assert!(watchdog > Tick::ZERO, "watchdog must be nonzero");
+            }
+        }
+        self.events.push(FaultEvent {
+            window: Window::new(from, until),
+            kind,
+        });
+        self
+    }
+
+    /// The sampling seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan schedules anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The largest home/port index any event names, for validation
+    /// against the engine's home count.
+    pub fn max_home(&self) -> Option<usize> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::LinkDegrade { home, .. } => home.map(|h| h.index()),
+                FaultKind::SlowMemPort { port, .. } => Some(port.index()),
+                FaultKind::StallMemPort { port, .. } => Some(port.index()),
+            })
+            .max()
+    }
+}
+
+/// A directed hop a message is about to take, as seen by the fault
+/// sampler. Carries exactly the coordinates the decision may depend on.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Hop {
+    /// Cache request arriving at its home.
+    CacheToHome {
+        /// The requesting cache.
+        from: AgentId,
+        /// The home it targets.
+        home: HomeId,
+    },
+    /// Home snoop/grant arriving at a cache.
+    HomeToCache {
+        /// The target cache.
+        dst: AgentId,
+        /// The sending home.
+        home: HomeId,
+    },
+    /// Home fetch/writeback arriving at its memory port.
+    HomeToMem {
+        /// The home whose port is used.
+        home: HomeId,
+    },
+    /// Memory data reply arriving back at the home.
+    MemToHome {
+        /// The home whose port is used.
+        home: HomeId,
+    },
+}
+
+impl Hop {
+    fn class(&self) -> LinkClass {
+        match self {
+            Hop::CacheToHome { .. } | Hop::HomeToCache { .. } => LinkClass::CacheHome,
+            Hop::HomeToMem { .. } | Hop::MemToHome { .. } => LinkClass::HomeMem,
+        }
+    }
+
+    fn home(&self) -> HomeId {
+        match *self {
+            Hop::CacheToHome { home, .. }
+            | Hop::HomeToCache { home, .. }
+            | Hop::HomeToMem { home }
+            | Hop::MemToHome { home } => home,
+        }
+    }
+
+    /// Direction-and-endpoint salt so the four hop kinds sample
+    /// independent fault streams even at equal timestamps.
+    fn salt(&self) -> u64 {
+        match *self {
+            Hop::CacheToHome { from, .. } => 0x1000 + from.index() as u64,
+            Hop::HomeToCache { dst, .. } => 0x2000 + dst.index() as u64,
+            Hop::HomeToMem { home } => 0x3000 + home.index() as u64,
+            Hop::MemToHome { home } => 0x4000 + home.index() as u64,
+        }
+    }
+}
+
+/// Flattened link-degrade rule.
+#[derive(Debug, Clone, Copy)]
+struct LinkRule {
+    window: Window,
+    class: LinkClass,
+    home: Option<HomeId>,
+    period: u64,
+    max_retries: u32,
+    backoff: Tick,
+}
+
+/// Flattened slow-port rule.
+#[derive(Debug, Clone, Copy)]
+struct SlowRule {
+    window: Window,
+    port: HomeId,
+    extra: Tick,
+}
+
+/// Flattened stall rule.
+#[derive(Debug, Clone, Copy)]
+struct StallRule {
+    window: Window,
+    port: HomeId,
+    watchdog: Tick,
+}
+
+/// The compiled, immutable decision core of a plan. Shared (via `Arc`)
+/// between the sequential engine and every parallel shard; all methods
+/// are pure functions, so concurrent evaluation is trivially safe.
+#[derive(Debug)]
+pub(crate) struct FaultCore {
+    seed: u64,
+    link: Vec<LinkRule>,
+    slow: Vec<SlowRule>,
+    stall: Vec<StallRule>,
+}
+
+impl FaultCore {
+    pub(crate) fn new(plan: &FaultPlan) -> Self {
+        let mut core = FaultCore {
+            seed: plan.seed,
+            link: Vec::new(),
+            slow: Vec::new(),
+            stall: Vec::new(),
+        };
+        for ev in &plan.events {
+            match ev.kind {
+                FaultKind::LinkDegrade {
+                    class,
+                    home,
+                    period,
+                    max_retries,
+                    backoff,
+                } => core.link.push(LinkRule {
+                    window: ev.window,
+                    class,
+                    home,
+                    period,
+                    max_retries,
+                    backoff,
+                }),
+                FaultKind::SlowMemPort { port, extra } => core.slow.push(SlowRule {
+                    window: ev.window,
+                    port,
+                    extra,
+                }),
+                FaultKind::StallMemPort { port, watchdog } => core.stall.push(StallRule {
+                    window: ev.window,
+                    port,
+                    watchdog,
+                }),
+            }
+        }
+        core
+    }
+
+    /// Whether any rule touches link timing (fast-path skip).
+    pub(crate) fn affects_links(&self) -> bool {
+        !self.link.is_empty()
+    }
+
+    /// Retry count and delivery penalty for a transfer taking `hop`
+    /// that would arrive at `at`, or `None` if it sails through. The
+    /// penalty size is pure in `(seed, rule, hop, addr)` — constant
+    /// over a rule's window so same-line transfers on a channel never
+    /// reorder — and `at` only selects the phase: full penalty inside
+    /// the window, a linear residual-backlog ramp after it (reported
+    /// with `0` retries: the transfer queued behind replays without
+    /// being replayed itself), nothing before. Overlapping rules take
+    /// the max, so `at + penalty` is monotone in `at` per (channel,
+    /// line) even across window edges.
+    pub(crate) fn link_penalty(&self, hop: Hop, at: Tick, addr: PhysAddr) -> Option<(u32, Tick)> {
+        let mut best: Option<(u32, Tick)> = None;
+        for (i, r) in self.link.iter().enumerate() {
+            if r.class != hop.class() || at < r.window.from {
+                continue;
+            }
+            if let Some(h) = r.home {
+                if h != hop.home() {
+                    continue;
+                }
+            }
+            let digest = mix64(
+                self.seed
+                    .wrapping_add(mix64(hop.salt() ^ ((i as u64) << 40)))
+                    .wrapping_add(addr.line().raw()),
+            );
+            if !digest.is_multiple_of(r.period) {
+                continue;
+            }
+            let n = 1 + ((digest >> 32) % r.max_retries as u64) as u32;
+            let full = r.backoff * ((1u64 << n) - 1);
+            let (retries, penalty) = if r.window.contains(at) {
+                (n, full)
+            } else {
+                // Past the window: the replay backlog drains at wire
+                // speed, delaying stragglers to the same horizon the
+                // last in-window transfer was pushed to.
+                let horizon = r.window.until + full;
+                if horizon <= at {
+                    continue;
+                }
+                (0, horizon - at)
+            };
+            if best.is_none_or(|(_, p)| penalty > p) {
+                best = Some((retries, penalty));
+            }
+        }
+        best
+    }
+
+    /// Added service-start latency at `port` for a request arriving at
+    /// `at`: the max over open slow windows, with the same trailing
+    /// residual ramp as [`link_penalty`](Self::link_penalty) so service
+    /// starts stay monotone across window edges.
+    pub(crate) fn slow_extra(&self, port: HomeId, at: Tick) -> Tick {
+        let mut extra = Tick::ZERO;
+        for r in &self.slow {
+            if r.port != port || at < r.window.from {
+                continue;
+            }
+            let e = if r.window.contains(at) {
+                r.extra
+            } else {
+                let horizon = r.window.until + r.extra;
+                if horizon <= at {
+                    continue;
+                }
+                horizon - at
+            };
+            extra = extra.max(e);
+        }
+        extra
+    }
+
+    /// If `port` is stalled at `at`: the release tick (latest matching
+    /// window end) and the tightest watchdog bound among the matching
+    /// windows.
+    pub(crate) fn stall_until(&self, port: HomeId, at: Tick) -> Option<(Tick, Tick)> {
+        let mut release: Option<Tick> = None;
+        let mut watchdog = Tick::MAX;
+        for r in &self.stall {
+            if r.port == port && r.window.contains(at) {
+                release = Some(release.map_or(r.window.until, |u| u.max(r.window.until)));
+                watchdog = watchdog.min(r.watchdog);
+            }
+        }
+        release.map(|u| (u, watchdog))
+    }
+}
+
+/// Retry/backoff counters for one link class, surfaced through
+/// [`FaultStatsView`] (mirroring how [`HomeStats`](crate::HomeStats)
+/// surface through [`HomeStatsView`](crate::HomeStatsView)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkFaultStats {
+    /// Transfers that were replayed at least once (in-window faults;
+    /// transfers merely delayed by the post-window residual backlog are
+    /// not counted here).
+    pub faulted: u64,
+    /// Total replays across all faulted transfers.
+    pub retries: u64,
+    /// Total fault-induced delivery delay (replay backoff plus residual
+    /// post-window backlog).
+    pub backoff: Tick,
+}
+
+impl AddAssign for LinkFaultStats {
+    fn add_assign(&mut self, rhs: LinkFaultStats) {
+        self.faulted += rhs.faulted;
+        self.retries += rhs.retries;
+        self.backoff += rhs.backoff;
+    }
+}
+
+/// Slow/stall counters for one memory port.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortFaultStats {
+    /// Requests that started late due to a slow window.
+    pub slowed: u64,
+    /// Total slow-window latency added.
+    pub slow_extra: Tick,
+    /// Requests that queued behind a stall window.
+    pub stalled: u64,
+    /// Total time spent queued behind stall windows.
+    pub stall_time: Tick,
+    /// The single longest stall any request observed.
+    pub max_stall: Tick,
+    /// Requests whose stall exceeded the watchdog bound.
+    pub starved: u64,
+}
+
+impl AddAssign for PortFaultStats {
+    fn add_assign(&mut self, rhs: PortFaultStats) {
+        self.slowed += rhs.slowed;
+        self.slow_extra += rhs.slow_extra;
+        self.stalled += rhs.stalled;
+        self.stall_time += rhs.stall_time;
+        self.max_stall = self.max_stall.max(rhs.max_stall);
+        self.starved += rhs.starved;
+    }
+}
+
+/// A point-in-time view of the engine's fault counters: aggregate link
+/// retry/backoff totals plus per-memory-port slow/stall/starvation
+/// counters, indexed by [`HomeId`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultStatsView {
+    link: LinkFaultStats,
+    ports: Vec<PortFaultStats>,
+}
+
+impl FaultStatsView {
+    pub(crate) fn new(link: LinkFaultStats, ports: Vec<PortFaultStats>) -> Self {
+        FaultStatsView { link, ports }
+    }
+
+    /// Aggregate link retry/backoff counters (both link classes).
+    pub fn link(&self) -> &LinkFaultStats {
+        &self.link
+    }
+
+    /// Per-port counters, indexed by home.
+    pub fn ports(&self) -> &[PortFaultStats] {
+        &self.ports
+    }
+
+    /// Counters for one home's memory port.
+    pub fn port(&self, home: HomeId) -> Option<&PortFaultStats> {
+        self.ports.get(home.index())
+    }
+
+    /// Sum (and max, for `max_stall`) over all ports.
+    pub fn port_total(&self) -> PortFaultStats {
+        let mut total = PortFaultStats::default();
+        for p in &self.ports {
+            total += *p;
+        }
+        total
+    }
+
+    /// Whether any fault actually fired.
+    pub fn any(&self) -> bool {
+        self.link.faulted > 0 || self.ports.iter().any(|p| p.slowed + p.stalled > 0)
+    }
+}
+
+/// Engine-side fault state: the shared decision core plus the mutable
+/// counters the hooks update.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    pub(crate) core: Arc<FaultCore>,
+    pub(crate) link: LinkFaultStats,
+    pub(crate) ports: Vec<PortFaultStats>,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: &FaultPlan, nhomes: usize) -> Self {
+        FaultState {
+            core: Arc::new(FaultCore::new(plan)),
+            link: LinkFaultStats::default(),
+            ports: vec![PortFaultStats::default(); nhomes],
+        }
+    }
+
+    pub(crate) fn view(&self) -> FaultStatsView {
+        FaultStatsView::new(self.link, self.ports.clone())
+    }
+}
+
+/// Applies any link fault to a transfer that would arrive at `at`,
+/// returning the (possibly later) delivery tick and updating `stats`.
+/// Shared by the sequential drains and the parallel shards so both
+/// paths make bit-identical decisions.
+pub(crate) fn perturb_link(
+    core: &FaultCore,
+    stats: &mut LinkFaultStats,
+    hop: Hop,
+    at: Tick,
+    addr: PhysAddr,
+) -> Tick {
+    match core.link_penalty(hop, at, addr) {
+        None => at,
+        Some((retries, penalty)) => {
+            if retries > 0 {
+                stats.faulted += 1;
+            }
+            stats.retries += retries as u64;
+            stats.backoff += penalty;
+            at + penalty
+        }
+    }
+}
+
+/// Applies slow/stall windows to a memory-port request arriving at
+/// `at`, returning the adjusted service-start tick and updating the
+/// port's counters.
+pub(crate) fn perturb_mem_start(f: &mut FaultState, port: HomeId, at: Tick) -> Tick {
+    let mut start = at;
+    let extra = f.core.slow_extra(port, at);
+    let p = &mut f.ports[port.index()];
+    if extra > Tick::ZERO {
+        start += extra;
+        p.slowed += 1;
+        p.slow_extra += extra;
+    }
+    if let Some((until, watchdog)) = f.core.stall_until(port, at) {
+        if until > start {
+            let wait = until - start;
+            start = until;
+            p.stalled += 1;
+            p.stall_time += wait;
+            p.max_stall = p.max_stall.max(wait);
+            if wait > watchdog {
+                p.starved += 1;
+            }
+        }
+    }
+    start
+}
+
+/// What [`ProtocolEngine::rehome`](crate::ProtocolEngine::rehome) did
+/// to the directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RehomeStats {
+    /// Directory entries migrated to a new home.
+    pub moved: u64,
+    /// Of those, entries with live peer copies (an owner or sharers) —
+    /// the ones coherence correctness strictly required moving.
+    pub with_peers: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn degrade(period: u64, max_retries: u32) -> FaultKind {
+        FaultKind::LinkDegrade {
+            class: LinkClass::CacheHome,
+            home: None,
+            period,
+            max_retries,
+            backoff: Tick::from_ns(10),
+        }
+    }
+
+    fn hop() -> Hop {
+        Hop::CacheToHome {
+            from: AgentId(2),
+            home: HomeId(0),
+        }
+    }
+
+    #[test]
+    fn penalty_is_pure_and_window_scoped() {
+        let plan = FaultPlan::new(1).with(Tick::from_ns(100), Tick::from_ns(200), degrade(1, 3));
+        let core = FaultCore::new(&plan);
+        let at = Tick::from_ns(150);
+        let addr = PhysAddr::new(0x40);
+        let a = core.link_penalty(hop(), at, addr);
+        let b = core.link_penalty(hop(), at, addr);
+        assert_eq!(a, b, "same coordinates must sample identically");
+        let (n, full) = a.expect("period 1 faults every transfer in-window");
+        assert!(n >= 1);
+        assert!(core.link_penalty(hop(), Tick::from_ns(99), addr).is_none());
+        // The trailing edge ramps down (residual backlog, 0 retries)
+        // instead of dropping to zero, so delivery stays monotone.
+        assert_eq!(
+            core.link_penalty(hop(), Tick::from_ns(200), addr),
+            Some((0, full))
+        );
+        assert!(core
+            .link_penalty(hop(), Tick::from_ns(200) + full, addr)
+            .is_none());
+    }
+
+    #[test]
+    fn delivery_is_fifo_per_channel_and_line() {
+        // Send times straddling the window edges must arrive in send
+        // order: the protocol's per-line channel ordering depends on it.
+        let plan = FaultPlan::new(11).with(Tick::from_ns(100), Tick::from_ns(200), degrade(1, 4));
+        let core = FaultCore::new(&plan);
+        let addr = PhysAddr::new(0x1c0);
+        let mut last = Tick::ZERO;
+        for ns in 0..400u64 {
+            let at = Tick::from_ns(ns);
+            let deliver = match core.link_penalty(hop(), at, addr) {
+                Some((_, p)) => at + p,
+                None => at,
+            };
+            assert!(
+                deliver >= last,
+                "delivery inverted at {ns}ns: {deliver} < {last}"
+            );
+            last = deliver;
+        }
+    }
+
+    #[test]
+    fn backoff_is_bounded_exponential() {
+        let plan = FaultPlan::new(2).with(Tick::ZERO, Tick::from_us(1), degrade(1, 4));
+        let core = FaultCore::new(&plan);
+        for i in 0..256u64 {
+            let (n, p) = core
+                .link_penalty(hop(), Tick::from_ns(i), PhysAddr::new(i * 64))
+                .expect("period 1 always faults");
+            assert!((1..=4).contains(&n));
+            assert_eq!(p, Tick::from_ns(10) * ((1u64 << n) - 1));
+        }
+    }
+
+    #[test]
+    fn period_samples_a_fraction() {
+        let plan = FaultPlan::new(3).with(Tick::ZERO, Tick::from_us(100), degrade(8, 1));
+        let core = FaultCore::new(&plan);
+        let hits = (0..8_000u64)
+            .filter(|&i| {
+                core.link_penalty(hop(), Tick::from_ns(i * 3), PhysAddr::new(i * 64))
+                    .is_some()
+            })
+            .count();
+        // Expect ~1/8 of 8000 = 1000; allow generous slack.
+        assert!((700..1350).contains(&hits), "period-8 hit rate off: {hits}");
+    }
+
+    #[test]
+    fn home_filter_restricts_scope() {
+        let plan = FaultPlan::new(4).with(
+            Tick::ZERO,
+            Tick::from_us(1),
+            FaultKind::LinkDegrade {
+                class: LinkClass::CacheHome,
+                home: Some(HomeId(1)),
+                period: 1,
+                max_retries: 1,
+                backoff: Tick::from_ns(5),
+            },
+        );
+        let core = FaultCore::new(&plan);
+        let at = Tick::from_ns(10);
+        let addr = PhysAddr::new(0x80);
+        let h0 = Hop::CacheToHome {
+            from: AgentId(2),
+            home: HomeId(0),
+        };
+        let h1 = Hop::CacheToHome {
+            from: AgentId(2),
+            home: HomeId(1),
+        };
+        assert!(core.link_penalty(h0, at, addr).is_none());
+        assert!(core.link_penalty(h1, at, addr).is_some());
+    }
+
+    #[test]
+    fn slow_windows_take_max_and_stall_windows_release_at_end() {
+        let port = HomeId(2);
+        let plan = FaultPlan::new(5)
+            .with(
+                Tick::from_ns(0),
+                Tick::from_ns(100),
+                FaultKind::SlowMemPort {
+                    port,
+                    extra: Tick::from_ns(7),
+                },
+            )
+            .with(
+                Tick::from_ns(50),
+                Tick::from_ns(100),
+                FaultKind::SlowMemPort {
+                    port,
+                    extra: Tick::from_ns(3),
+                },
+            )
+            .with(
+                Tick::from_ns(200),
+                Tick::from_ns(300),
+                FaultKind::StallMemPort {
+                    port,
+                    watchdog: Tick::from_ns(40),
+                },
+            );
+        let core = FaultCore::new(&plan);
+        assert_eq!(core.slow_extra(port, Tick::from_ns(10)), Tick::from_ns(7));
+        // Overlapping slow windows take the max, not the sum.
+        assert_eq!(core.slow_extra(port, Tick::from_ns(60)), Tick::from_ns(7));
+        assert_eq!(core.slow_extra(HomeId(0), Tick::from_ns(60)), Tick::ZERO);
+        // Trailing residual: service start stays monotone at the edge.
+        assert_eq!(core.slow_extra(port, Tick::from_ns(103)), Tick::from_ns(4));
+        assert_eq!(core.slow_extra(port, Tick::from_ns(107)), Tick::ZERO);
+        assert_eq!(
+            core.stall_until(port, Tick::from_ns(250)),
+            Some((Tick::from_ns(300), Tick::from_ns(40)))
+        );
+        assert_eq!(core.stall_until(port, Tick::from_ns(150)), None);
+        assert_eq!(core.stall_until(HomeId(0), Tick::from_ns(250)), None);
+    }
+
+    #[test]
+    fn perturb_mem_start_counts_starvation() {
+        let port = HomeId(0);
+        let plan = FaultPlan::new(6).with(
+            Tick::from_ns(0),
+            Tick::from_ns(100),
+            FaultKind::StallMemPort {
+                port,
+                watchdog: Tick::from_ns(30),
+            },
+        );
+        let mut f = FaultState::new(&plan, 1);
+        // Arrives at 90: waits 10 (< watchdog), released at 100.
+        assert_eq!(
+            perturb_mem_start(&mut f, port, Tick::from_ns(90)),
+            Tick::from_ns(100)
+        );
+        // Arrives at 10: waits 90 (> watchdog) -> starved.
+        assert_eq!(
+            perturb_mem_start(&mut f, port, Tick::from_ns(10)),
+            Tick::from_ns(100)
+        );
+        let v = f.view();
+        let p = v.port(port).unwrap();
+        assert_eq!(p.stalled, 2);
+        assert_eq!(p.starved, 1);
+        assert_eq!(p.max_stall, Tick::from_ns(90));
+        assert_eq!(p.stall_time, Tick::from_ns(100));
+        assert!(v.any());
+    }
+
+    #[test]
+    fn max_home_spans_all_event_kinds() {
+        let plan = FaultPlan::new(0)
+            .with(
+                Tick::ZERO,
+                Tick::from_ns(1),
+                FaultKind::SlowMemPort {
+                    port: HomeId(3),
+                    extra: Tick::from_ns(1),
+                },
+            )
+            .with(Tick::ZERO, Tick::from_ns(1), degrade(1, 1));
+        assert_eq!(plan.max_home(), Some(3));
+        assert_eq!(FaultPlan::new(0).max_home(), None);
+        assert!(FaultPlan::new(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_backoff_rejected() {
+        let _ = FaultPlan::new(0).with(
+            Tick::ZERO,
+            Tick::from_ns(1),
+            FaultKind::LinkDegrade {
+                class: LinkClass::HomeMem,
+                home: None,
+                period: 1,
+                max_retries: 1,
+                backoff: Tick::ZERO,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_retry_bound_rejected() {
+        let _ = FaultPlan::new(0).with(Tick::ZERO, Tick::from_ns(1), degrade(1, 17));
+    }
+}

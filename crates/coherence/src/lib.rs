@@ -49,6 +49,7 @@ pub mod array;
 pub mod cache;
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod funcmem;
 pub mod hierarchy;
 pub mod home;
@@ -58,6 +59,10 @@ pub mod topology;
 
 pub use config::{CacheConfig, EngineConfig, HomeConfig, ParallelConfig};
 pub use engine::{Completion, ProtocolEngine, ProtocolEngineBuilder};
+pub use fault::{
+    FaultEvent, FaultKind, FaultPlan, FaultStatsView, LinkClass, LinkFaultStats, PortFaultStats,
+    RehomeStats,
+};
 pub use funcmem::{AtomicKind, FuncMem};
 pub use home::{HomeStats, HomeStatsView};
 pub use msg::{AgentId, HitLevel, MemOp, ReqId};
@@ -67,6 +72,7 @@ pub use topology::{HomeId, Topology};
 pub mod prelude {
     pub use crate::config::{CacheConfig, EngineConfig, HomeConfig};
     pub use crate::engine::{Completion, ProtocolEngine};
+    pub use crate::fault::{FaultKind, FaultPlan, LinkClass};
     pub use crate::funcmem::AtomicKind;
     pub use crate::home::{HomeStats, HomeStatsView};
     pub use crate::msg::{AgentId, HitLevel, MemOp, ReqId};

@@ -68,6 +68,7 @@
 
 use crate::cache::Outbox;
 use crate::engine::{Ev, ProtocolEngine};
+use crate::fault::{self, FaultCore, Hop, LinkFaultStats};
 use crate::home::HomeOutbox;
 use crate::msg::{AgentId, HitLevel, MemOp, Msg, ReqId};
 use crate::topology::Topology;
@@ -77,7 +78,7 @@ use simcxl_mem::PhysAddr;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// A routed-but-undelivered event: `(tick, seq, event)` entries waiting
 /// in a shard's mailbox until its next phase begins.
@@ -239,10 +240,18 @@ struct Shard {
     self_heap: BinaryHeap<Reverse<(u64, u32)>>,
     /// Earliest queued tick after the last phase (for window planning).
     next_tick: Option<Tick>,
+    /// Shared fault-decision core, if a plan is armed. Decisions are
+    /// pure functions of each message's own coordinates, so shards need
+    /// no coordination to agree with the sequential engine.
+    fault: Option<Arc<FaultCore>>,
+    /// Shard-local link fault counters, merged into the engine's at
+    /// reassembly (sums are order-independent, so the merged totals
+    /// equal a sequential run's).
+    fault_link: LinkFaultStats,
 }
 
 impl Shard {
-    fn new(index: usize, nshards: usize) -> Self {
+    fn new(index: usize, nshards: usize, fault: Option<Arc<FaultCore>>) -> Self {
         Shard {
             index,
             nshards,
@@ -256,6 +265,8 @@ impl Shard {
             children_seqs: Vec::new(),
             self_heap: BinaryHeap::new(),
             next_tick: None,
+            fault,
+            fault_link: LinkFaultStats::default(),
         }
     }
 
@@ -359,8 +370,24 @@ impl Shard {
     /// `drain_cache_outbox` pushes it: messages, completions, deferrals.
     fn record_cache_outbox(&mut self, mut out: Outbox, topo: &Topology) {
         for (tick, dst, mut msg) in out.msgs.drain(..) {
+            let mut tick = tick;
             if dst == AgentId::HOME {
                 msg.home = topo.home_for(msg.addr);
+                if let Some(core) = &self.fault {
+                    // Same hook as the sequential `drain_cache_outbox`;
+                    // penalties only add latency, so the perturbed tick
+                    // still clears the lookahead window.
+                    tick = fault::perturb_link(
+                        core,
+                        &mut self.fault_link,
+                        Hop::CacheToHome {
+                            from: msg.from,
+                            home: msg.home,
+                        },
+                        tick,
+                        msg.addr,
+                    );
+                }
             }
             self.children.push((
                 tick,
@@ -389,6 +416,18 @@ impl Shard {
 
     fn record_home_outbox(&mut self, mut out: HomeOutbox) {
         for (tick, dst, msg, level) in out.msgs.drain(..) {
+            let mut tick = tick;
+            if let Some(core) = &self.fault {
+                let hop = if dst == AgentId::MEMORY {
+                    Hop::HomeToMem { home: msg.home }
+                } else {
+                    Hop::HomeToCache {
+                        dst,
+                        home: msg.home,
+                    }
+                };
+                tick = fault::perturb_link(core, &mut self.fault_link, hop, tick, msg.addr);
+            }
             self.children
                 .push((tick, Child::Deliver { dst, msg, level }));
         }
@@ -476,7 +515,16 @@ impl ProtocolEngine {
         // pop their slices of the stream in global order.
         let n_caches = self.caches.len();
         let n_homes = self.homes.len();
-        let mut shards: Vec<Shard> = (0..nshards).map(|i| Shard::new(i, nshards)).collect();
+        // Shards only consult the fault core for link rules; plans that
+        // touch nothing but mem ports skip the per-message checks.
+        let fault_core = self
+            .fault
+            .as_ref()
+            .filter(|f| f.core.affects_links())
+            .map(|f| f.core.clone());
+        let mut shards: Vec<Shard> = (0..nshards)
+            .map(|i| Shard::new(i, nshards, fault_core.clone()))
+            .collect();
         for (i, c) in self.caches.drain(..).enumerate() {
             shards[i % nshards].caches.push(c);
         }
@@ -626,6 +674,9 @@ impl ProtocolEngine {
             }
             while let Some((tick, seq, ev)) = shard.queue.pop_seq() {
                 self.queue.push_at_seq(tick, seq, unshard_ev(ev));
+            }
+            if let Some(f) = &mut self.fault {
+                f.link += shard.fault_link;
             }
         }
         self.caches = caches.into_iter().map(|c| c.expect("cache")).collect();
@@ -949,6 +1000,38 @@ mod tests {
         // Local slots follow home-index order within each shard.
         assert_eq!(map.home_local, vec![0, 0, 1, 2]);
         assert_eq!(map.by_shard, vec![vec![0], vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn shard_map_packs_drained_home_with_light_peer() {
+        // After a drain/rehome the drained home owns no bytes and keeps
+        // only the weight-1 floor. LPT must pack its (empty) shard slot
+        // next to the *lighter* survivor, never round-robin it alongside
+        // the heaviest home — that was the pre-rehome `home % nshards`
+        // failure mode.
+        let drained = Topology::ranges(
+            3,
+            vec![
+                (
+                    simcxl_mem::AddrRange::new(PhysAddr::new(0), 4 << 20),
+                    HomeId(0),
+                ),
+                (
+                    simcxl_mem::AddrRange::new(PhysAddr::new(4 << 20), 2 << 20),
+                    HomeId(1),
+                ),
+            ],
+            2,
+            64,
+        );
+        assert_eq!(drained.home_weights(), vec![2, 1, 1]);
+        let map = super::ShardMap::new(&drained, 2);
+        assert_eq!(
+            map.home_shard,
+            vec![0, 1, 1],
+            "drained home joins the light shard"
+        );
+        assert_eq!(map.by_shard, vec![vec![0], vec![1, 2]]);
     }
 
     #[test]

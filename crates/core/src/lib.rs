@@ -43,10 +43,12 @@
 
 pub mod experiments;
 pub mod extensions;
+pub mod faults;
 pub mod profile;
 pub mod system;
 pub mod topo;
 
+pub use faults::{FaultCase, FaultOutcome, FaultPhase};
 pub use profile::DeviceProfile;
 pub use system::{CohetError, CohetProcess, CohetSystem, KernelCtx};
 pub use topo::TopologySpec;
@@ -57,4 +59,5 @@ pub mod prelude {
     pub use crate::system::{CohetError, CohetProcess, CohetSystem, KernelCtx};
     pub use crate::topo::TopologySpec;
     pub use cohet_os::VirtAddr;
+    pub use simcxl_coherence::fault::{FaultKind, FaultPlan, LinkClass};
 }

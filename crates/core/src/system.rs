@@ -47,6 +47,7 @@ pub struct CohetSystem {
     expander_mem: Option<u64>,
     topo: TopologySpec,
     parallel_threads: usize,
+    fault: Option<FaultPlan>,
 }
 
 /// Builder for [`CohetSystem`].
@@ -70,6 +71,7 @@ pub struct CohetSystemBuilder {
     legacy_stride: Option<u64>,
     legacy_weights: Option<Vec<u64>>,
     parallel_threads: usize,
+    fault: Option<FaultPlan>,
 }
 
 impl Default for CohetSystemBuilder {
@@ -85,6 +87,7 @@ impl Default for CohetSystemBuilder {
             legacy_stride: None,
             legacy_weights: None,
             parallel_threads: 1,
+            fault: None,
         }
     }
 }
@@ -263,6 +266,42 @@ impl CohetSystemBuilder {
         self
     }
 
+    /// Arms a deterministic [`FaultPlan`] on the coherence engine:
+    /// every process or scenario this system spawns runs with the
+    /// plan's timed link-degradation / slow-port / stall-port windows
+    /// active (see `simcxl_coherence::fault`). Same plan + same seed →
+    /// bit-identical results at any [`parallel`](Self::parallel)
+    /// thread count.
+    ///
+    /// ```
+    /// use cohet::prelude::*;
+    /// use sim_core::Tick;
+    ///
+    /// let plan = FaultPlan::new(7).with(
+    ///     Tick::ZERO,
+    ///     Tick::from_us(50),
+    ///     FaultKind::LinkDegrade {
+    ///         class: LinkClass::CacheHome,
+    ///         home: None,
+    ///         period: 4,
+    ///         max_retries: 3,
+    ///         backoff: Tick::from_ns(60),
+    ///     },
+    /// );
+    /// let mut proc = CohetSystem::builder()
+    ///     .fault_plan(plan)
+    ///     .build()
+    ///     .spawn_process();
+    /// let x = proc.malloc(64)?;
+    /// proc.write_u64(x, 7)?;
+    /// assert_eq!(proc.read_u64(x)?, 7); // slower, never wrong
+    /// # Ok::<(), cohet::CohetError>(())
+    /// ```
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
     /// Finishes the description, folding any deprecated topology knobs
     /// into the equivalent [`TopologySpec`].
     ///
@@ -309,6 +348,7 @@ impl CohetSystemBuilder {
             expander_mem: self.expander_mem,
             topo,
             parallel_threads: self.parallel_threads,
+            fault: self.fault,
         }
     }
 }
@@ -329,7 +369,7 @@ impl CohetSystem {
     /// [`spawn_process`](Self::spawn_process) and
     /// [`run_scenario`](Self::run_scenario): host memory at 0, each
     /// XPU's memory after it, then the expander.
-    fn fabric(&self) -> Fabric {
+    pub(crate) fn fabric(&self) -> Fabric {
         let mut numa = NumaTopology::new(cohet_os::PAGE_SIZE);
         let cpu_node = numa.add_node(
             NodeKind::Cpu,
@@ -375,7 +415,7 @@ impl CohetSystem {
     }
 
     /// Builds the coherence engine over an already-constructed fabric.
-    fn build_engine(
+    pub(crate) fn build_engine(
         &self,
         mi: MemoryInterface,
         expander_range: Option<AddrRange>,
@@ -387,6 +427,9 @@ impl CohetSystem {
             .topology(topology);
         if self.parallel_threads > 1 {
             builder = builder.parallel(self.parallel_threads);
+        }
+        if let Some(plan) = &self.fault {
+            builder = builder.fault_plan(plan.clone());
         }
         builder.build()
     }
@@ -466,13 +509,13 @@ impl CohetSystem {
 }
 
 /// The physical memory map [`CohetSystem::fabric`] produces.
-struct Fabric {
-    numa: NumaTopology,
-    mi: MemoryInterface,
-    cpu_node: NodeId,
-    xpu_nodes: Vec<NodeId>,
-    expander_node: Option<NodeId>,
-    expander_range: Option<AddrRange>,
+pub(crate) struct Fabric {
+    pub(crate) numa: NumaTopology,
+    pub(crate) mi: MemoryInterface,
+    pub(crate) cpu_node: NodeId,
+    pub(crate) xpu_nodes: Vec<NodeId>,
+    pub(crate) expander_node: Option<NodeId>,
+    pub(crate) expander_range: Option<AddrRange>,
 }
 
 /// Kernel-side memory context handed to XPU kernels: coherent

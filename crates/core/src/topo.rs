@@ -32,6 +32,7 @@ pub const DEFAULT_STRIDE: u64 = cohet_os::PAGE_SIZE;
 /// | [`Interleaved`](Self::Interleaved) | pow2 interleave | expander range claimed by its **own extra home** |
 /// | [`Weighted`](Self::Weighted) | weighted stripes | expander joins the stripe at a **capacity-derived auto-weight** |
 /// | [`CapacityWeighted`](Self::CapacityWeighted) | single home | host + expander striped **proportionally to their capacities** |
+/// | [`Ranges`](Self::Ranges) | claims as written | claims as written (**no** auto-homing — drain shapes) |
 ///
 /// ```
 /// use cohet::prelude::*;
@@ -91,6 +92,23 @@ pub enum TopologySpec {
     /// [`SingleHome`](Self::SingleHome).
     CapacityWeighted {
         /// Byte stride of the stripes.
+        stride: u64,
+    },
+    /// Explicit range claims over `homes` agents with an interleaved
+    /// fallback — the raw [`Topology::ranges`] surface, exposed so
+    /// fault scenarios can describe drained shapes (an expander's range
+    /// re-claimed by host homes while its own agent stays attached but
+    /// owns nothing). The expander attachment rule is the caller's
+    /// business here: `resolve` uses the claims exactly as written and
+    /// ignores the expander range argument.
+    Ranges {
+        /// Total home agents (claimed + fallback + drained).
+        homes: usize,
+        /// `(range, home)` claims, first match wins.
+        claims: Vec<(AddrRange, HomeId)>,
+        /// Unclaimed addresses interleave over homes `0..fallback_homes`.
+        fallback_homes: usize,
+        /// Byte stride of the fallback interleave.
         stride: u64,
     },
 }
@@ -172,6 +190,12 @@ impl TopologySpec {
                 }
                 None => Topology::single(),
             },
+            TopologySpec::Ranges {
+                homes,
+                claims,
+                fallback_homes,
+                stride,
+            } => Topology::ranges(*homes, claims.clone(), *fallback_homes, *stride),
         }
     }
 
@@ -182,6 +206,7 @@ impl TopologySpec {
             TopologySpec::SingleHome | TopologySpec::CapacityWeighted { .. } => 1,
             TopologySpec::Interleaved { homes, .. } => *homes,
             TopologySpec::Weighted { weights, .. } => weights.len(),
+            TopologySpec::Ranges { fallback_homes, .. } => *fallback_homes,
         }
     }
 }
@@ -257,6 +282,23 @@ mod tests {
         let topo = spec.resolve(256 * M, Some(expander()));
         assert_eq!(topo, Topology::capacity_weighted(&[256 * M, 128 * M], 4096));
         assert_eq!(topo.home_weights(), vec![2, 1]);
+    }
+
+    #[test]
+    fn ranges_uses_claims_verbatim_and_ignores_expander() {
+        // A drained shape: 3 agents, the would-be expander home (2)
+        // owns nothing because host homes claimed its range.
+        let spec = TopologySpec::Ranges {
+            homes: 3,
+            claims: vec![(expander(), HomeId(0))],
+            fallback_homes: 2,
+            stride: 4096,
+        };
+        let topo = spec.resolve(256 * M, Some(expander()));
+        assert_eq!(topo.homes(), 3);
+        assert_eq!(topo.home_for(PhysAddr::new(1 << 30)), HomeId(0));
+        assert_eq!(topo.home_for(PhysAddr::new(4096)), HomeId(1));
+        assert_eq!(topo, spec.resolve(256 * M, None), "expander arg is inert");
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub const SLOTS_PER_FLIT: u64 = 4;
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FlitCounter {
     slots: u64,
+    replayed: u64,
 }
 
 impl FlitCounter {
@@ -55,17 +56,42 @@ impl FlitCounter {
         self.slots.div_ceil(SLOTS_PER_FLIT)
     }
 
-    /// Wire bytes for the accumulated traffic.
+    /// Wire bytes for the accumulated goodput traffic (excludes
+    /// link-layer replays; see [`total_wire_bytes`](Self::total_wire_bytes)).
     pub fn wire_bytes(&self) -> u64 {
         self.flits() * FLIT_BYTES
     }
 
-    /// Protocol efficiency: payload slots / wire bytes.
+    /// Records `flits` re-transmitted by the link-layer retry machinery
+    /// (CRC nak → replay from the retry buffer). Replays repeat wire
+    /// traffic at flit granularity without carrying new payload slots —
+    /// a degraded link burns bandwidth that never shows up as goodput.
+    pub fn add_replay(&mut self, flits: u64) {
+        self.replayed += flits;
+    }
+
+    /// Flits re-transmitted by link-layer retry.
+    pub fn replay_flits(&self) -> u64 {
+        self.replayed
+    }
+
+    /// All flits that crossed the wire: goodput plus replays.
+    pub fn total_flits(&self) -> u64 {
+        self.flits() + self.replayed
+    }
+
+    /// Wire bytes including replay overhead.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.total_flits() * FLIT_BYTES
+    }
+
+    /// Protocol efficiency: payload bytes / wire bytes (replays
+    /// included, so retries degrade the reported efficiency).
     pub fn efficiency(&self, payload_bytes: u64) -> f64 {
         if self.slots == 0 {
             return 0.0;
         }
-        payload_bytes as f64 / self.wire_bytes() as f64
+        payload_bytes as f64 / self.total_wire_bytes() as f64
     }
 }
 
@@ -99,6 +125,24 @@ mod tests {
         // 64 useful bytes over 136 wire bytes: ~47% for a single
         // header+data exchange; sustained streams pack better.
         assert!(f.efficiency(64) > 0.45 && f.efficiency(64) < 0.5);
+    }
+
+    #[test]
+    fn replays_burn_wire_bytes_without_goodput() {
+        let mut f = FlitCounter::new();
+        f.add_header();
+        f.add_data(64); // 2 goodput flits
+        let clean_eff = f.efficiency(64);
+        f.add_replay(2); // the whole transfer retried once
+        assert_eq!(f.flits(), 2, "goodput flits unchanged");
+        assert_eq!(f.replay_flits(), 2);
+        assert_eq!(f.total_flits(), 4);
+        assert_eq!(f.total_wire_bytes(), 272);
+        assert_eq!(f.wire_bytes(), 136);
+        assert!(
+            f.efficiency(64) < clean_eff / 1.9,
+            "replays halve efficiency"
+        );
     }
 
     #[test]

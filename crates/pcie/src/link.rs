@@ -131,6 +131,30 @@ impl PcieLink {
         self.inner.send(now, self.config.wire_bytes(bytes))
     }
 
+    /// Sends a `bytes`-payload message that is nak'd and replayed
+    /// `retries` times before it gets through; returns arrival at the
+    /// far end. Each failed attempt occupies the channel for its full
+    /// serialization (the wire bytes really crossed — the CRC check
+    /// failed at the receiver) and the sender backs off exponentially
+    /// (`backoff`, `2·backoff`, `4·backoff`, …) before re-arming, so a
+    /// degraded link both inflates latency and burns bandwidth.
+    pub fn send_with_retries(
+        &mut self,
+        now: Tick,
+        bytes: u64,
+        retries: u32,
+        backoff: Tick,
+    ) -> Tick {
+        let mut at = now;
+        for attempt in 0..retries {
+            // The failed attempt serializes fully; its "arrival" is when
+            // the nak comes back and the replay may start.
+            at = self.inner.send(at, self.config.wire_bytes(bytes));
+            at += backoff * (1u64 << attempt.min(31));
+        }
+        self.inner.send(at, self.config.wire_bytes(bytes))
+    }
+
     /// When the channel next becomes free.
     pub fn free_at(&self) -> Tick {
         self.inner.free_at()
@@ -183,6 +207,25 @@ mod tests {
         let a2 = l.send(Tick::ZERO, 4096);
         assert!(a2 > a1);
         assert!(a1 > l.config().latency);
+    }
+
+    #[test]
+    fn retries_inflate_latency_and_wire_bytes() {
+        let clean = {
+            let mut l = PcieLink::new(PcieLinkConfig::gen5_x16());
+            (l.send(Tick::ZERO, 4096), l.wire_bytes_sent())
+        };
+        let mut l = PcieLink::new(PcieLinkConfig::gen5_x16());
+        let a = l.send_with_retries(Tick::ZERO, 4096, 2, Tick::from_ns(100));
+        // Three serializations + 100ns + 200ns of backoff.
+        assert!(a >= clean.0 + Tick::from_ns(300));
+        assert_eq!(l.wire_bytes_sent(), 3 * clean.1);
+        // Zero retries degenerates to a plain send.
+        let mut l2 = PcieLink::new(PcieLinkConfig::gen5_x16());
+        assert_eq!(
+            l2.send_with_retries(Tick::ZERO, 4096, 0, Tick::from_ns(100)),
+            clean.0
+        );
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub use clock::Clock;
 pub use event::EventQueue;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use link::{Link, LinkConfig};
-pub use rng::SimRng;
+pub use rng::{mix64, SimRng};
 pub use shard::PhaseBarrier;
 pub use stats::{mape, Counter, Summary};
-pub use time::{Freq, Tick};
+pub use time::{Freq, Tick, Window};

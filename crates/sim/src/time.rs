@@ -157,6 +157,63 @@ impl fmt::Display for Tick {
     }
 }
 
+/// A half-open window `[from, until)` of simulated time.
+///
+/// Timed effects (fault-injection windows, measurement intervals) are
+/// scheduled against windows rather than single ticks so that "is this
+/// event affected?" is a pure predicate of the event's own timestamp —
+/// the foundation of order-independent (and therefore parallel-safe)
+/// fault injection.
+///
+/// ```
+/// use sim_core::{Tick, Window};
+/// let w = Window::new(Tick::from_ns(10), Tick::from_ns(20));
+/// assert!(w.contains(Tick::from_ns(10)));
+/// assert!(!w.contains(Tick::from_ns(20)));
+/// assert_eq!(w.duration(), Tick::from_ns(10));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Window {
+    /// First tick inside the window.
+    pub from: Tick,
+    /// First tick past the window.
+    pub until: Tick,
+}
+
+impl Window {
+    /// Creates the window `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from` (empty or inverted windows are almost
+    /// always plan bugs; reject them loudly).
+    pub fn new(from: Tick, until: Tick) -> Self {
+        assert!(until > from, "empty window: [{from}, {until})");
+        Window { from, until }
+    }
+
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t: Tick) -> bool {
+        t >= self.from && t < self.until
+    }
+
+    /// The window's length.
+    pub fn duration(&self) -> Tick {
+        self.until - self.from
+    }
+
+    /// Whether the two windows share any tick.
+    pub fn overlaps(&self, other: &Window) -> bool {
+        self.from < other.until && other.from < self.until
+    }
+}
+
+impl fmt::Display for Window {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.from, self.until)
+    }
+}
+
 /// A clock frequency in hertz.
 ///
 /// ```
@@ -252,6 +309,31 @@ mod tests {
     #[should_panic]
     fn tick_from_ns_f64_rejects_negative() {
         let _ = Tick::from_ns_f64(-1.0);
+    }
+
+    #[test]
+    fn window_membership_is_half_open() {
+        let w = Window::new(Tick::from_ns(5), Tick::from_ns(9));
+        assert!(!w.contains(Tick::from_ns(4)));
+        assert!(w.contains(Tick::from_ns(5)));
+        assert!(w.contains(Tick::from_ps(8_999)));
+        assert!(!w.contains(Tick::from_ns(9)));
+        assert_eq!(w.duration(), Tick::from_ns(4));
+    }
+
+    #[test]
+    fn window_overlap_is_symmetric_and_half_open() {
+        let a = Window::new(Tick::from_ns(0), Tick::from_ns(10));
+        let b = Window::new(Tick::from_ns(9), Tick::from_ns(20));
+        let c = Window::new(Tick::from_ns(10), Tick::from_ns(20));
+        assert!(a.overlaps(&b) && b.overlaps(&a));
+        assert!(!a.overlaps(&c) && !c.overlaps(&a));
+    }
+
+    #[test]
+    #[should_panic]
+    fn window_rejects_empty() {
+        let _ = Window::new(Tick::from_ns(5), Tick::from_ns(5));
     }
 
     #[test]

@@ -60,6 +60,26 @@ pub fn run(
     run_with_machine(spec, &table, eng, agents, base)
 }
 
+/// [`run`], but the arrival schedule starts at `start` instead of
+/// `Tick::ZERO` (clamped up to the engine's `now`, so a request is
+/// never issued in the engine's past). This is how degradation suites
+/// chain several scenario segments on **one** engine — each segment
+/// inherits the warm caches and fault-window clock of its predecessor.
+///
+/// # Panics
+///
+/// As [`run`].
+pub fn run_from(
+    spec: &ScenarioSpec,
+    eng: &mut ProtocolEngine,
+    agents: &[AgentId],
+    base: PhysAddr,
+    start: Tick,
+) -> ScenarioOutcome {
+    let table = spec.machine.build();
+    run_inner(spec, &table, eng, agents, base, start)
+}
+
 /// [`run`], but with an explicit [`TransitionTable`] (the spec's
 /// `machine` field is ignored).
 ///
@@ -72,6 +92,17 @@ pub fn run_with_machine(
     eng: &mut ProtocolEngine,
     agents: &[AgentId],
     base: PhysAddr,
+) -> ScenarioOutcome {
+    run_inner(spec, table, eng, agents, base, Tick::ZERO)
+}
+
+fn run_inner(
+    spec: &ScenarioSpec,
+    table: &TransitionTable,
+    eng: &mut ProtocolEngine,
+    agents: &[AgentId],
+    base: PhysAddr,
+    start: Tick,
 ) -> ScenarioOutcome {
     spec.validate();
     assert_eq!(
@@ -111,15 +142,19 @@ pub fn run_with_machine(
         elapsed: Tick::ZERO,
     };
 
+    // Never schedule into the engine's past: a chained segment starts
+    // no earlier than where its predecessor left the clock.
+    let t0 = start.max(eng.now());
     match spec.arrival {
         Arrival::Open => {
             // The whole arrival schedule is computable upfront: each
             // phase places its quota by inverting its traffic shape.
             let mut client = 0u64;
-            let mut start = Tick::ZERO;
+            let mut phase_start = t0;
             for (pi, phase) in spec.phases.iter().enumerate() {
                 for j in 0..quotas[pi] {
-                    let at = start + phase.traffic.arrival_offset(j, quotas[pi], phase.duration);
+                    let at =
+                        phase_start + phase.traffic.arrival_offset(j, quotas[pi], phase.duration);
                     exec.wakeups.push(
                         at,
                         Wake::Arrive {
@@ -129,19 +164,19 @@ pub fn run_with_machine(
                     );
                     client += 1;
                 }
-                start += phase.duration;
+                phase_start += phase.duration;
             }
             exec.next_client = client;
         }
         Arrival::Closed { concurrency } => {
-            // Admit the first window ns-staggered from t = 0; every
+            // Admit the first window ns-staggered from t0; every
             // completion admits the next queued client. Phases label
             // population shares and key skew, not wall-clock windows.
             let first = concurrency.min(spec.clients);
             for c in 0..first {
                 let phase = exec.phase_of(c);
                 exec.wakeups
-                    .push(Tick::from_ns(c), Wake::Arrive { client: c, phase });
+                    .push(t0 + Tick::from_ns(c), Wake::Arrive { client: c, phase });
             }
             exec.next_client = first;
         }

@@ -35,7 +35,7 @@ mod report;
 mod session;
 mod spec;
 
-pub use exec::{run, run_with_machine};
+pub use exec::{run, run_from, run_with_machine};
 pub use machine::{Action, Handler, State, StepCtx, TransitionTable};
 pub use phase::{PhaseSpec, Traffic};
 pub use report::{PhaseReport, ScenarioOutcome};

@@ -43,6 +43,18 @@ pub enum Traffic {
         /// Probability mass on the hot set.
         hot_fraction: f64,
     },
+    /// Day/night oscillation: the rate sweeps `low → high → low`
+    /// linearly, `cycles` times across the phase (a triangle wave).
+    /// Long-running degradation scenarios use this to overlap fault
+    /// windows with both peak and trough load.
+    Diurnal {
+        /// Relative rate in the troughs.
+        low: f64,
+        /// Relative rate at the peaks.
+        high: f64,
+        /// Full low→high→low cycles across the phase (≥ 1).
+        cycles: u32,
+    },
 }
 
 impl Traffic {
@@ -50,6 +62,7 @@ impl Traffic {
     pub fn mean_rate(&self) -> f64 {
         match *self {
             Traffic::Ramp { from, to } => (from + to) / 2.0,
+            Traffic::Diurnal { low, high, .. } => (low + high) / 2.0,
             Traffic::Steady { rate } | Traffic::Burst { rate } | Traffic::HotKey { rate, .. } => {
                 rate
             }
@@ -78,20 +91,41 @@ impl Traffic {
         let at_ns = match *self {
             Traffic::Steady { .. } | Traffic::HotKey { .. } => frac * d_ns,
             Traffic::Burst { .. } => frac * d_ns * 0.25,
-            Traffic::Ramp { from, to } => {
-                // F(t) = (from·t + (to-from)·t²/2D) / (D·(from+to)/2);
-                // solve F(t) = frac for t.
-                let a = (to - from) / (2.0 * d_ns);
-                let b = from;
-                let c = frac * d_ns * (from + to) / 2.0;
-                if a.abs() < f64::EPSILON {
-                    c / b
+            Traffic::Ramp { from, to } => invert_ramp(from, to, d_ns, frac),
+            Traffic::Diurnal { low, high, cycles } => {
+                assert!(cycles >= 1, "a diurnal shape needs at least one cycle");
+                // 2·cycles half-cycles, each a linear ramp between low
+                // and high. Every half-cycle carries the same mass
+                // (duration · (low+high)/2), so the quantile picks the
+                // half-cycle uniformly and the ramp inversion finishes
+                // the job inside it.
+                let segments = 2 * u64::from(cycles);
+                let seg_ns = d_ns / segments as f64;
+                let s = ((frac * segments as f64) as u64).min(segments - 1);
+                let local = frac * segments as f64 - s as f64;
+                let (from, to) = if s.is_multiple_of(2) {
+                    (low, high)
                 } else {
-                    (-b + (b * b + 4.0 * a * c).sqrt()) / (2.0 * a)
-                }
+                    (high, low)
+                };
+                s as f64 * seg_ns + invert_ramp(from, to, seg_ns, local)
             }
         };
         Tick::from_ns_f64(at_ns)
+    }
+}
+
+/// Instant (in ns) where fraction `frac` of a linear `from → to` ramp's
+/// mass over `d_ns` has arrived: solve
+/// `F(t) = (from·t + (to-from)·t²/2D) / (D·(from+to)/2) = frac` for `t`.
+fn invert_ramp(from: f64, to: f64, d_ns: f64, frac: f64) -> f64 {
+    let a = (to - from) / (2.0 * d_ns);
+    let b = from;
+    let c = frac * d_ns * (from + to) / 2.0;
+    if a.abs() < f64::EPSILON {
+        c / b
+    } else {
+        (-b + (b * b + 4.0 * a * c).sqrt()) / (2.0 * a)
     }
 }
 
@@ -179,9 +213,87 @@ mod tests {
     }
 
     #[test]
+    fn diurnal_arrivals_cluster_at_peaks() {
+        // Two cycles over 100us: peaks at 25us and 75us, troughs at 0,
+        // 50us, 100us. With low = 0 the density at the troughs vanishes.
+        let t = Traffic::Diurnal {
+            low: 0.0,
+            high: 2.0,
+            cycles: 2,
+        };
+        let d = Tick::from_us(100);
+        let offs: Vec<f64> = (0..200)
+            .map(|j| t.arrival_offset(j, 200, d).as_ns_f64())
+            .collect();
+        for w in offs.windows(2) {
+            assert!(w[0] <= w[1], "offsets must be monotone");
+        }
+        assert!(*offs.last().unwrap() <= d.as_ns_f64());
+        let near = |center_us: f64| {
+            offs.iter()
+                .filter(|&&o| (o - center_us * 1_000.0).abs() < 10_000.0)
+                .count()
+        };
+        // A 20us band around each peak vs the same band at the middle
+        // trough: peak bands must hold clearly more arrivals.
+        assert!(
+            near(25.0) > 2 * near(50.0),
+            "{} vs {}",
+            near(25.0),
+            near(50.0)
+        );
+        assert!(near(75.0) > 2 * near(50.0));
+    }
+
+    #[test]
+    fn flat_diurnal_degenerates_to_steady() {
+        let diurnal = Traffic::Diurnal {
+            low: 3.0,
+            high: 3.0,
+            cycles: 4,
+        };
+        let steady = Traffic::Steady { rate: 3.0 };
+        let d = Tick::from_us(10);
+        for j in 0..16 {
+            let a = diurnal.arrival_offset(j, 16, d).as_ns_f64();
+            let b = steady.arrival_offset(j, 16, d).as_ns_f64();
+            assert!((a - b).abs() < 1.0, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn one_cycle_first_half_matches_rising_ramp() {
+        // The first half-cycle of a 1-cycle diurnal IS a low→high ramp
+        // over half the phase holding half the mass.
+        let diurnal = Traffic::Diurnal {
+            low: 1.0,
+            high: 5.0,
+            cycles: 1,
+        };
+        let ramp = Traffic::Ramp { from: 1.0, to: 5.0 };
+        let d = Tick::from_us(100);
+        for j in 0..8 {
+            // Quantiles 0..0.5 of the diurnal = quantiles 0..1 of the
+            // ramp, compressed into [0, d/2).
+            let a = diurnal.arrival_offset(j, 16, d).as_ns_f64();
+            let b = ramp.arrival_offset(j, 8, Tick::from_us(50)).as_ns_f64();
+            assert!((a - b).abs() < 2.0, "{a} vs {b}");
+        }
+    }
+
+    #[test]
     fn mean_rates_weight_phases() {
         assert_eq!(Traffic::Ramp { from: 0.0, to: 4.0 }.mean_rate(), 2.0);
         assert_eq!(Traffic::Steady { rate: 5.0 }.mean_rate(), 5.0);
+        assert_eq!(
+            Traffic::Diurnal {
+                low: 1.0,
+                high: 3.0,
+                cycles: 2
+            }
+            .mean_rate(),
+            2.0
+        );
         assert!(Traffic::HotKey {
             rate: 1.0,
             hot_keys: 4,

@@ -405,6 +405,67 @@ proptest! {
         prop_assert_eq!(&base, &again, "identical spec failed to reproduce");
     }
 
+    /// Fault injection never loses work and never breaks determinism:
+    /// for any random fault plan (random windows, kinds, and valid
+    /// parameters) over random scenario traffic, every logical client
+    /// still reaches a terminal state (the run drains — no deadlock,
+    /// even through stall windows), and the completion checksum is
+    /// identical across reruns and thread counts.
+    #[test]
+    fn faulted_scenarios_deterministic_and_lossless(
+        seed in any::<u64>(),
+        clients in 50u64..300,
+        events in prop::collection::vec(
+            ((0u8..3, 0u64..400, 1u64..200, 0usize..2), (1u64..6, 1u32..5, 10u64..200)),
+            0..3),
+        threads in 2usize..5,
+    ) {
+        use cohet::prelude::{FaultKind, FaultPlan, LinkClass};
+        use cohet::{CohetSystem, TopologySpec};
+        use simcxl_workloads::scenario;
+        let mut spec = scenario::ramp_then_burst(clients, seed);
+        spec.agents = 4;
+        spec.keys = 1 << 10;
+        spec.buckets = 1 << 11;
+        let mut plan = FaultPlan::new(seed ^ 0xF00D);
+        for ((kind, from_us, dur_us, port), (period, retries, backoff_ns)) in events {
+            let from = Tick::from_us(from_us);
+            let until = from + Tick::from_us(dur_us);
+            let k = match kind {
+                0 => FaultKind::LinkDegrade {
+                    class: if port == 0 { LinkClass::CacheHome } else { LinkClass::HomeMem },
+                    home: if period % 2 == 0 { Some(HomeId(port)) } else { None },
+                    period,
+                    max_retries: retries,
+                    backoff: Tick::from_ns(backoff_ns),
+                },
+                1 => FaultKind::SlowMemPort {
+                    port: HomeId(port),
+                    extra: Tick::from_ns(backoff_ns * 10),
+                },
+                _ => FaultKind::StallMemPort {
+                    port: HomeId(port),
+                    watchdog: Tick::from_ns(backoff_ns),
+                },
+            };
+            plan = plan.with(from, until, k);
+        }
+        let run = |threads: usize| {
+            CohetSystem::builder()
+                .topology(TopologySpec::Interleaved { homes: 2, stride: 4096 })
+                .fault_plan(plan.clone())
+                .parallel(threads)
+                .build()
+                .run_scenario(&spec)
+        };
+        let base = run(1);
+        prop_assert_eq!(base.completed + base.capped, spec.clients);
+        let with_threads = run(threads);
+        prop_assert_eq!(&base, &with_threads, "thread count changed the faulted outcome");
+        let again = run(1);
+        prop_assert_eq!(&base, &again, "identical faulted run failed to reproduce");
+    }
+
     /// CircusTent streams always target the configured footprint and
     /// are deterministic in their seed.
     #[test]
