@@ -9,7 +9,7 @@
 //! headline simulator-performance metric; the JSON report seeds the perf
 //! trajectory tracked across PRs.
 //!
-//! Four variants (see the README for the full `simcxl-hotpath/v4`
+//! Four variants (see the README for the full `simcxl-hotpath/v5`
 //! schema): `stress` (single home, wave driver — its checksum is the
 //! repo's oldest determinism anchor), `multihome` (the same waves over a
 //! four-home line interleave), `multihome_weighted` (the waves over a
@@ -17,7 +17,10 @@
 //! directory traffic tracks the weights as `balance_error`), and
 //! `stress_parallel` (the multihome workload as one upfront batch on the
 //! parallel executor, whose stream is asserted equal to its own
-//! sequential run before being reported).
+//! sequential run before being reported). Since v5 every variant also
+//! embeds a `profile` block — the engine's always-on hot-path counters
+//! (busy-hit/fast-path/general split plus depth histograms), rendered
+//! standalone by `simcxl-report hotpath --profile`.
 
 use cohet::experiments;
 use cohet::DeviceProfile;
@@ -46,6 +49,17 @@ pub const PINNED_STRESS_CHECKSUM_FULL: u64 = 0x8b604ff32e480de3;
 /// checksum — the same stream anchor at the reduced request count,
 /// also pinned by `n1_reproduces_pre_refactor_completion_stream`.
 pub const PINNED_STRESS_CHECKSUM_QUICK: u64 = 0xb1e18caf05b4d6a4;
+
+/// The pinned full-mode checksum of the dense upfront batch — the
+/// `stress_parallel` entry's stream (the whole multihome workload issued
+/// ~1 ns apart and drained in one `run_to_quiescence`). This is the
+/// stream the dense-contention hot path (pending slab, snoop batching,
+/// fast path) reshapes internally, so it is pinned separately from the
+/// wave-driven `stress` anchor: [`check_determinism`] verifies both.
+pub const PINNED_UPFRONT_CHECKSUM_FULL: u64 = 0x09b49727d30b6680;
+/// The pinned quick-mode upfront-batch checksum (also pinned by
+/// `parallel_quick_stress_checksum_pinned`).
+pub const PINNED_UPFRONT_CHECKSUM_QUICK: u64 = 0x0c896c524bd5265a;
 
 /// Parameters of the stress workload.
 #[derive(Debug, Clone)]
@@ -159,6 +173,9 @@ pub struct StressResult {
     /// alongside the counters. Exposes interleave imbalance via
     /// [`HomeStatsView::balance_error`].
     pub per_home: HomeStatsView,
+    /// Always-on hot-path profile counters aggregated over every home
+    /// agent (plus cache MSHR occupancy), snapshotted at run end.
+    pub profile: simcxl_coherence::EngineProfile,
 }
 
 impl StressResult {
@@ -313,6 +330,7 @@ pub fn stress(cfg: &StressConfig) -> StressResult {
         wall_secs,
         checksum,
         per_home: eng.home_stats_view(),
+        profile: eng.profile(),
     }
 }
 
@@ -359,19 +377,35 @@ pub fn stress_upfront(cfg: &StressConfig, threads: usize) -> StressResult {
         wall_secs,
         checksum,
         per_home: eng.home_stats_view(),
+        profile: eng.profile(),
     }
 }
 
 /// Runs the upfront workload sequentially and on `threads` shards and
 /// checks the streams agree; returns `(sequential, parallel)`.
 ///
+/// The sequential reference gets the same best-of-two treatment as the
+/// wave variants (`best_of_two`): two runs, checksum-asserted equal,
+/// faster wall clock kept — so the reported `sequential` numbers carry
+/// the same noise resistance as every other entry in the file.
+///
 /// # Panics
 ///
-/// Panics if the parallel run's completion checksum, event count or
-/// completion count diverges from the sequential run — the determinism
-/// canary the report publishes.
+/// Panics if the two sequential runs disagree, or if the parallel run's
+/// completion checksum, event count or completion count diverges from
+/// the sequential run — the determinism canary the report publishes.
 pub fn stress_parallel_pair(cfg: &StressConfig, threads: usize) -> (StressResult, StressResult) {
-    let seq = stress_upfront(cfg, 1);
+    let seq_a = stress_upfront(cfg, 1);
+    let seq_b = stress_upfront(cfg, 1);
+    assert_eq!(
+        seq_a.checksum, seq_b.checksum,
+        "upfront stress workload is nondeterministic"
+    );
+    let seq = if seq_b.wall_secs < seq_a.wall_secs {
+        seq_b
+    } else {
+        seq_a
+    };
     let par = stress_upfront(cfg, threads);
     assert_eq!(
         seq.checksum, par.checksum,
@@ -442,6 +476,43 @@ fn best_of_two(cfg: &StressConfig) -> StressResult {
     }
 }
 
+// The v5 `profile` block: the engine's always-on hot-path counters for
+// this run (see README for field-by-field docs). Histograms are
+// summarized as count/mean/max — the committed numbers a perf PR argues
+// from; the full bucket vectors stay available via the library API.
+fn push_profile(out: &mut String, r: &StressResult) {
+    let p = &r.profile;
+    out.push_str("    \"profile\": {\n");
+    out.push_str(&format!("      \"requests\": {},\n", p.requests()));
+    out.push_str(&format!("      \"busy_hits\": {},\n", p.busy_hits));
+    out.push_str(&format!("      \"fast_path\": {},\n", p.fast_path));
+    out.push_str(&format!("      \"general_path\": {},\n", p.general_path));
+    out.push_str(&format!(
+        "      \"busy_hit_rate\": {:.4},\n",
+        p.busy_hit_rate()
+    ));
+    out.push_str(&format!(
+        "      \"fast_path_rate\": {:.4},\n",
+        p.fast_path_rate()
+    ));
+    let hists = [
+        ("pending_depth", &p.pending_depth),
+        ("replay_chain", &p.replay_chain),
+        ("snoop_fanout", &p.snoop_fanout),
+        ("mshr_occupancy", &p.mshr_occupancy),
+    ];
+    for (i, (name, h)) in hists.iter().enumerate() {
+        out.push_str(&format!(
+            "      \"{name}\": {{\"count\": {}, \"mean\": {:.2}, \"max\": {}}}{}\n",
+            h.count,
+            h.mean(),
+            h.max,
+            if i + 1 < hists.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    },\n");
+}
+
 // Per-home directory counters: with N>1 the spread across shards
 // makes interleave imbalance visible at a glance.
 fn push_per_home(out: &mut String, r: &StressResult) {
@@ -479,11 +550,12 @@ fn push_stress_section(out: &mut String, cfg: &StressConfig, r: &StressResult) {
     ));
     out.push_str(&format!("    \"ns_per_event\": {:.1},\n", r.ns_per_event()));
     out.push_str(&format!("    \"checksum\": \"{:#018x}\",\n", r.checksum));
+    push_profile(out, r);
     push_per_home(out, r);
     out.push_str("  },\n");
 }
 
-/// The `multihome_weighted` section (v4): the stress fields plus the
+/// The `multihome_weighted` section: the stress fields plus the
 /// stripe weights and how far per-home traffic deviates from them.
 fn push_weighted_section(out: &mut String, cfg: &StressConfig, r: &StressResult) {
     let weights = cfg.weights.as_deref().expect("weighted config");
@@ -511,6 +583,7 @@ fn push_weighted_section(out: &mut String, cfg: &StressConfig, r: &StressResult)
         "    \"balance_error\": {:.4},\n",
         r.per_home.balance_error()
     ));
+    push_profile(out, r);
     push_per_home(out, r);
     out.push_str("  },\n");
 }
@@ -562,6 +635,7 @@ fn push_parallel_section(
         "    \"speedup_vs_multihome\": {:.2},\n",
         par.events_per_sec() / multihome_events_per_sec
     ));
+    push_profile(out, par);
     push_per_home(out, par);
     out.push_str("  },\n");
 }
@@ -598,7 +672,7 @@ pub fn report_json(quick: bool) -> String {
     let (p_seq, p_par) = stress_parallel_pair(&mh_cfg, threads);
     let figs = figure_timings(quick);
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"simcxl-hotpath/v4\",\n");
+    out.push_str("  \"schema\": \"simcxl-hotpath/v5\",\n");
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
@@ -728,31 +802,40 @@ pub fn summary(json: &str) -> String {
     out
 }
 
-/// Checks the determinism canary of a `BENCH_hotpath.json`: the
-/// `stress` checksum must equal the pinned value for the report's mode
-/// ([`PINNED_STRESS_CHECKSUM_FULL`] / [`PINNED_STRESS_CHECKSUM_QUICK`]).
-/// Returns the verified checksum, or a description of the drift.
+/// Checks the determinism canaries of a `BENCH_hotpath.json`: the
+/// wave-driven `stress` checksum and the dense upfront-batch
+/// `stress_parallel` checksum must both equal their pinned values for
+/// the report's mode ([`PINNED_STRESS_CHECKSUM_FULL`] /
+/// [`PINNED_UPFRONT_CHECKSUM_FULL`] and the `_QUICK` pair). Returns the
+/// verified `stress` checksum, or a description of the drift.
 ///
 /// This is the gating half of the CI perf step: throughput numbers stay
-/// non-gating (containers are noisy), but a moved checksum means the
+/// non-gating (containers are noisy), but a moved checksum means a
 /// completion stream changed and must fail the build unless the pin is
-/// intentionally updated alongside the change.
+/// intentionally updated alongside the change. The upfront batch is
+/// pinned separately because it is the stream the dense-contention hot
+/// path exercises hardest — a bug confined to deep pending lists or the
+/// fast path would move it long before the wave-driven anchor.
 ///
 /// # Errors
 ///
-/// An explanatory message when the mode or checksum field is missing or
-/// malformed, or when the checksum does not match the pin.
+/// An explanatory message when the mode or a checksum field is missing
+/// or malformed, or when either checksum does not match its pin.
 pub fn check_determinism(json: &str) -> Result<u64, String> {
     let mode = extract_scalar(json, "mode").ok_or("report has no \"mode\" field")?;
-    let pinned = match mode {
-        "full" => PINNED_STRESS_CHECKSUM_FULL,
-        "quick" => PINNED_STRESS_CHECKSUM_QUICK,
+    let (pinned, pinned_upfront) = match mode {
+        "full" => (PINNED_STRESS_CHECKSUM_FULL, PINNED_UPFRONT_CHECKSUM_FULL),
+        "quick" => (PINNED_STRESS_CHECKSUM_QUICK, PINNED_UPFRONT_CHECKSUM_QUICK),
         other => return Err(format!("unknown report mode {other:?}")),
     };
-    let stress = extract_section(json, "stress").ok_or("report has no \"stress\" section")?;
-    let checksum = extract_scalar(stress, "checksum").ok_or("stress section has no checksum")?;
-    let value = u64::from_str_radix(checksum.trim_start_matches("0x"), 16)
-        .map_err(|e| format!("unparsable checksum {checksum:?}: {e}"))?;
+    let section_checksum = |key: &str| -> Result<u64, String> {
+        let sec = extract_section(json, key).ok_or(format!("report has no \"{key}\" section"))?;
+        let checksum =
+            extract_scalar(sec, "checksum").ok_or(format!("{key} section has no checksum"))?;
+        u64::from_str_radix(checksum.trim_start_matches("0x"), 16)
+            .map_err(|e| format!("unparsable {key} checksum {checksum:?}: {e}"))
+    };
+    let value = section_checksum("stress")?;
     if value != pinned {
         return Err(format!(
             "stress checksum drifted: got {value:#018x}, pinned {pinned:#018x} ({mode} mode) — \
@@ -760,7 +843,39 @@ pub fn check_determinism(json: &str) -> Result<u64, String> {
              crates/bench/src/hotpath.rs"
         ));
     }
+    let upfront = section_checksum("stress_parallel")?;
+    if upfront != pinned_upfront {
+        return Err(format!(
+            "dense upfront-batch checksum drifted: got {upfront:#018x}, pinned \
+             {pinned_upfront:#018x} ({mode} mode) — the stress_parallel completion stream \
+             changed; if intentional, update the pins in crates/bench/src/hotpath.rs"
+        ));
+    }
     Ok(value)
+}
+
+/// Renders the `profile` block of every stress variant in a
+/// `BENCH_hotpath.json` — what `simcxl-report hotpath --profile` prints
+/// (and CI logs in the quick smoke step), so the hot-path shape of a
+/// run is readable without JSON digging.
+pub fn profile_summary(json: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "hot-path profile ({} mode)\n",
+        extract_scalar(json, "mode").unwrap_or("?"),
+    ));
+    for key in [
+        "stress",
+        "multihome",
+        "multihome_weighted",
+        "stress_parallel",
+    ] {
+        match extract_section(json, key).and_then(|sec| extract_section(sec, "profile")) {
+            Some(p) => out.push_str(&format!("\"{key}\": {p}\n")),
+            None => out.push_str(&format!("\"{key}\": <no profile block (pre-v5 report?)>\n")),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -817,7 +932,10 @@ mod tests {
     #[test]
     fn report_json_is_well_formed() {
         let json = report_json(true);
-        assert!(json.contains("\"schema\": \"simcxl-hotpath/v4\""));
+        assert!(json.contains("\"schema\": \"simcxl-hotpath/v5\""));
+        assert!(json.contains("\"profile\""));
+        assert!(json.contains("\"fast_path_rate\""));
+        assert!(json.contains("\"pending_depth\""));
         assert!(json.contains("\"events_per_sec\""));
         assert!(json.contains("\"figures\""));
         assert!(json.contains("\"multihome\""));
@@ -834,10 +952,18 @@ mod tests {
             json.matches('}').count(),
             "unbalanced braces in report"
         );
-        // The summary/check tooling must understand its own report.
+        // The summary/check/profile tooling must understand its own
+        // report.
         let s = summary(&json);
         assert!(s.contains("\"multihome_weighted\": {"));
         assert!(!s.contains("<missing>"), "summary lost a section:\n{s}");
+        let p = profile_summary(&json);
+        assert!(p.contains("\"stress_parallel\": {"));
+        assert!(p.contains("\"busy_hit_rate\""));
+        assert!(
+            !p.contains("<no profile"),
+            "profile summary lost a block:\n{p}"
+        );
         assert_eq!(check_determinism(&json), Ok(PINNED_STRESS_CHECKSUM_QUICK));
     }
 
@@ -884,6 +1010,15 @@ mod tests {
         let bad = json.replacen(&good, &flipped, 1);
         let err = check_determinism(&bad).unwrap_err();
         assert!(err.contains("drifted"), "unexpected error: {err}");
+        // The dense upfront-batch pin gates independently.
+        let good = format!("{PINNED_UPFRONT_CHECKSUM_QUICK:#018x}");
+        let flipped = format!("{:#018x}", PINNED_UPFRONT_CHECKSUM_QUICK ^ 1);
+        let bad = json.replacen(&good, &flipped, 1);
+        let err = check_determinism(&bad).unwrap_err();
+        assert!(
+            err.contains("upfront-batch checksum drifted"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]
@@ -920,8 +1055,58 @@ mod tests {
     #[test]
     fn parallel_quick_stress_checksum_pinned() {
         let r = stress_upfront(&StressConfig::multihome_quick(), 2);
-        assert_eq!(r.checksum, 0x0c896c524bd5265a, "completion stream diverged");
+        assert_eq!(
+            r.checksum, PINNED_UPFRONT_CHECKSUM_QUICK,
+            "completion stream diverged"
+        );
         assert_eq!(r.events, 130_774);
         assert_eq!(r.completions, 20_000);
+    }
+
+    /// Manual scaling probe: events/sec at growing upfront batch sizes
+    /// (flat = linear cost; falling = superlinear queue behavior).
+    #[test]
+    #[ignore = "manual perf probe; run with --ignored --nocapture in release"]
+    fn upfront_scaling_probe() {
+        for req in [20_000, 50_000, 100_000, 400_000] {
+            let cfg = StressConfig {
+                requests: req,
+                ..StressConfig::multihome()
+            };
+            let up = stress_upfront(&cfg, 1);
+            let wave = stress(&cfg);
+            println!(
+                "{:>4}k req: upfront {:.2}M ev/s ({} events)   wave {:.2}M ev/s ({} events)",
+                req / 1000,
+                up.events_per_sec() / 1e6,
+                up.events,
+                wave.events_per_sec() / 1e6,
+                wave.events
+            );
+        }
+    }
+
+    /// Manual perf probe for hot-path iteration (not part of the suite):
+    /// `cargo test --release -p simcxl-bench upfront_sequential_probe \
+    ///  -- --ignored --nocapture` prints full-size upfront-sequential and
+    /// wave-driver throughput without the report machinery around them.
+    #[test]
+    #[ignore = "manual perf probe; run with --ignored --nocapture in release"]
+    fn upfront_sequential_probe() {
+        for i in 0..3 {
+            let up = stress_upfront(&StressConfig::multihome(), 1);
+            let wave = stress(&StressConfig::full());
+            println!(
+                "upfront {:.2}M ev/s ({} events)   wave {:.2}M ev/s ({} events)",
+                up.events_per_sec() / 1e6,
+                up.events,
+                wave.events_per_sec() / 1e6,
+                wave.events
+            );
+            if i == 0 {
+                println!("--- upfront profile ---\n{}", up.profile);
+                println!("--- wave profile ---\n{}", wave.profile);
+            }
+        }
     }
 }

@@ -4,8 +4,8 @@
 //! simcxl-report [table1|fig12|fig13|fig14|fig15|fig16|fig17|fig18|
 //!                calibration|headline|shapes|hotpath|scenarios|faults|
 //!                all]
-//!               [--json] [--quick] [--summary] [--check-determinism]
-//!               [--expect-mode=full|quick]
+//!               [--json] [--quick] [--summary] [--profile]
+//!               [--check-determinism] [--expect-mode=full|quick]
 //! ```
 //!
 //! `hotpath` runs the event-loop stress workload; with `--json` it also
@@ -22,11 +22,16 @@
 //!
 //! * `hotpath|scenarios|faults --summary` prints the per-variant
 //!   summary blocks (what CI logs instead of ad-hoc JSON digging).
+//! * `hotpath --profile` prints each stress variant's hot-path profile
+//!   block (busy-hit/fast-path/general split, pending-depth and
+//!   snoop-fan-out histograms) from the written report — the
+//!   measurement layer behind the dense-contention restructure.
 //! * `hotpath|scenarios|faults --check-determinism` verifies the
 //!   pinned checksums for the report's mode and exits 1 on drift — the
 //!   gating determinism canaries of the CI perf job (`hotpath` pins
-//!   the `stress` checksum, `scenarios` and `faults` pin all three of
-//!   their case checksums). `--expect-mode=quick` additionally fails (exit 1)
+//!   the wave-driven `stress` checksum *and* the dense upfront-batch
+//!   `stress_parallel` checksum, `scenarios` and `faults` pin all three
+//!   of their case checksums). `--expect-mode=quick` additionally fails (exit 1)
 //!   unless the file records that mode: CI uses it to prove the
 //!   checked file was written by *this run's* quick bench rather than
 //!   falling back to the committed full-mode file when the bench step
@@ -37,18 +42,26 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let quick = args.iter().any(|a| a == "--quick");
     let summary = args.iter().any(|a| a == "--summary");
+    let profile = args.iter().any(|a| a == "--profile");
     let check = args.iter().any(|a| a == "--check-determinism");
     let arg = args
         .iter()
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "all".to_owned());
-    if summary || check {
+    if summary || profile || check {
         if arg != "hotpath" && arg != "scenarios" && arg != "faults" {
             eprintln!(
-                "--summary/--check-determinism apply to the hotpath, scenarios, \
-                 and faults reports: run `simcxl-report hotpath|scenarios|faults \
-                 --summary|--check-determinism`"
+                "--summary/--profile/--check-determinism apply to the hotpath, \
+                 scenarios, and faults reports: run `simcxl-report \
+                 hotpath|scenarios|faults --summary|--profile|--check-determinism`"
+            );
+            std::process::exit(2);
+        }
+        if profile && arg != "hotpath" {
+            eprintln!(
+                "--profile reads the hot-path profile blocks of \
+                 BENCH_hotpath.json: run `simcxl-report hotpath --profile`"
             );
             std::process::exit(2);
         }
@@ -71,6 +84,9 @@ fn main() {
                 _ => print!("{}", simcxl_bench::faults::summary(&report)),
             }
         }
+        if profile {
+            print!("{}", simcxl_bench::hotpath::profile_summary(&report));
+        }
         if check {
             if let Some(expect) = args
                 .iter()
@@ -88,8 +104,12 @@ fn main() {
                 }
             }
             let verdict = match arg.as_str() {
-                "hotpath" => simcxl_bench::hotpath::check_determinism(&report)
-                    .map(|sum| format!("stress checksum {sum:#018x} matches the pin")),
+                "hotpath" => simcxl_bench::hotpath::check_determinism(&report).map(|sum| {
+                    format!(
+                        "stress checksum {sum:#018x} and the dense upfront-batch \
+                         checksum match their pins"
+                    )
+                }),
                 "scenarios" => simcxl_bench::scenarios::check_determinism(&report),
                 _ => simcxl_bench::faults::check_determinism(&report),
             };

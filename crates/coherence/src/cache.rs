@@ -9,8 +9,10 @@
 use crate::array::{CacheArray, Line, LineState};
 use crate::config::CacheConfig;
 use crate::msg::{AgentId, HitLevel, MemOp, Msg, MsgKind, ReqId};
+use crate::profile::DepthHist;
 use crate::topology::HomeId;
 use sim_core::{FxHashMap, Link, Tick};
+use std::collections::hash_map::Entry;
 use std::collections::VecDeque;
 
 /// Messages and completions produced while handling one event.
@@ -74,6 +76,8 @@ pub struct CacheAgent {
     pub(crate) link: Link,
     next_accept: Tick,
     stats: CacheStats,
+    /// MSHR-map occupancy sampled at each miss allocation (profile).
+    mshr_occupancy: DepthHist,
 }
 
 impl CacheAgent {
@@ -89,7 +93,13 @@ impl CacheAgent {
             link,
             next_accept: Tick::ZERO,
             stats: CacheStats::default(),
+            mshr_occupancy: DepthHist::default(),
         }
+    }
+
+    /// MSHR-occupancy histogram (profile layer).
+    pub fn mshr_occupancy(&self) -> DepthHist {
+        self.mshr_occupancy
     }
 
     /// Agent id.
@@ -169,24 +179,29 @@ impl CacheAgent {
         let t = start + self.cfg.lookup_latency;
         let line_key = addr.line().raw();
 
-        if let Some(mshr) = self.mshrs.get_mut(&line_key) {
-            mshr.waiting.push_back((req, op));
-            return;
-        }
+        // Single MSHR probe: an occupied entry absorbs the request in
+        // place; a vacant one is filled directly on the miss paths
+        // below (no second hash on insert).
+        let occupancy = self.mshrs.len() as u64;
+        let vacant = match self.mshrs.entry(line_key) {
+            Entry::Occupied(mut o) => {
+                o.get_mut().waiting.push_back((req, op));
+                return;
+            }
+            Entry::Vacant(v) => v,
+        };
 
         match op {
             MemOp::NcPush { .. } => {
                 // NC-P: drop any local copy (its data is superseded by the
                 // push) and send the full line to the LLC.
                 self.array.remove(addr);
-                self.mshrs.insert(
-                    line_key,
-                    Mshr {
-                        waiting: VecDeque::from([(req, op)]),
-                        for_own: false,
-                        ncp: true,
-                    },
-                );
+                self.mshr_occupancy.record(occupancy);
+                vacant.insert(Mshr {
+                    waiting: VecDeque::from([(req, op)]),
+                    for_own: false,
+                    ncp: true,
+                });
                 self.send(t, MsgKind::ItoMWr, addr, out);
             }
             MemOp::Load | MemOp::Prefetch => {
@@ -195,7 +210,14 @@ impl CacheAgent {
                     self.stats.hits += 1;
                     out.completions.push((done, req, HitLevel::Local));
                 } else {
-                    self.miss(req, op, addr, false, t, out);
+                    self.stats.misses += 1;
+                    self.mshr_occupancy.record(occupancy);
+                    vacant.insert(Mshr {
+                        waiting: VecDeque::from([(req, op)]),
+                        for_own: false,
+                        ncp: false,
+                    });
+                    self.send(t, MsgKind::RdShared, addr, out);
                 }
             }
             MemOp::Store { .. } | MemOp::Rmw { .. } => {
@@ -215,47 +237,26 @@ impl CacheAgent {
                     } else {
                         // Shared: upgrade via RdOwn.
                         self.stats.misses += 1;
-                        self.mshrs.insert(
-                            line_key,
-                            Mshr {
-                                waiting: VecDeque::from([(req, op)]),
-                                for_own: true,
-                                ncp: false,
-                            },
-                        );
+                        self.mshr_occupancy.record(occupancy);
+                        vacant.insert(Mshr {
+                            waiting: VecDeque::from([(req, op)]),
+                            for_own: true,
+                            ncp: false,
+                        });
                         self.send(t, MsgKind::RdOwn, addr, out);
                     }
                 } else {
-                    self.miss(req, op, addr, true, t, out);
+                    self.stats.misses += 1;
+                    self.mshr_occupancy.record(occupancy);
+                    vacant.insert(Mshr {
+                        waiting: VecDeque::from([(req, op)]),
+                        for_own: true,
+                        ncp: false,
+                    });
+                    self.send(t, MsgKind::RdOwn, addr, out);
                 }
             }
         }
-    }
-
-    fn miss(
-        &mut self,
-        req: ReqId,
-        op: MemOp,
-        addr: simcxl_mem::PhysAddr,
-        for_own: bool,
-        t: Tick,
-        out: &mut Outbox,
-    ) {
-        self.stats.misses += 1;
-        self.mshrs.insert(
-            addr.line().raw(),
-            Mshr {
-                waiting: VecDeque::from([(req, op)]),
-                for_own,
-                ncp: false,
-            },
-        );
-        let kind = if for_own {
-            MsgKind::RdOwn
-        } else {
-            MsgKind::RdShared
-        };
-        self.send(t, kind, addr, out);
     }
 
     /// Handles a message from the home agent.

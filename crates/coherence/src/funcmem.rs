@@ -94,10 +94,14 @@ impl FuncMem {
     }
 
     /// Applies `kind` atomically; returns the previous value.
+    ///
+    /// Single hash probe: the read-modify-write runs in place on the
+    /// word's entry rather than hashing once to read and again to
+    /// write.
     pub fn rmw(&mut self, addr: PhysAddr, kind: AtomicKind, operand: u64, operand2: u64) -> u64 {
-        let old = self.read_u64(addr);
-        let new = kind.apply(old, operand, operand2);
-        self.write_u64(addr, new);
+        let word = self.words.entry(Self::key(addr)).or_insert(0);
+        let old = *word;
+        *word = kind.apply(old, operand, operand2);
         old
     }
 

@@ -9,9 +9,11 @@
 
 use crate::config::HomeConfig;
 use crate::msg::{AgentId, HitLevel, Msg, MsgKind};
+use crate::pending::{PendingList, PendingSlab};
+use crate::profile::EngineProfile;
 use crate::topology::HomeId;
 use sim_core::{FxHashMap, Link, Tick};
-use std::collections::VecDeque;
+use std::collections::hash_map::Entry;
 
 /// Compact sharer set: the paper's "bit vector recording all sharers"
 /// (§IV-B2), one bit per agent index.
@@ -59,6 +61,13 @@ impl SharerSet {
         self.0 = 0;
     }
 
+    /// The raw 64-bit word, one bit per agent index — the batched
+    /// snoop fan-out iterates set bits of this word directly instead of
+    /// materializing an agent list.
+    pub fn word(&self) -> u64 {
+        self.0
+    }
+
     /// Iterates sharers in ascending agent-index order.
     pub fn iter(&self) -> impl Iterator<Item = AgentId> + '_ {
         let mut bits = self.0;
@@ -101,6 +110,25 @@ enum HomeTx {
     },
     /// Waiting for `WbData` from an evictor.
     WritePull { evictor: AgentId },
+}
+
+/// Per-line busy state: the in-flight transaction plus the intrusive
+/// list of requests that arrived while it held the line. Embedding the
+/// list here means the arrival-path busy probe *is* the enqueue probe —
+/// there is no separate pending map to hash into.
+#[derive(Debug)]
+struct BusyLine {
+    tx: HomeTx,
+    pending: PendingList,
+}
+
+impl BusyLine {
+    fn new(tx: HomeTx) -> Self {
+        BusyLine {
+            tx,
+            pending: PendingList::default(),
+        }
+    }
 }
 
 /// Statistics exposed by the [`HomeAgent`].
@@ -252,16 +280,19 @@ pub struct HomeAgent {
     /// Hot per-line maps keyed by line address; Fx-hashed — SipHash was
     /// a measurable fraction of every directory lookup.
     dir: FxHashMap<u64, DirEntry>,
-    busy: FxHashMap<u64, HomeTx>,
-    pending: FxHashMap<u64, VecDeque<(AgentId, MsgKind)>>,
+    busy: FxHashMap<u64, BusyLine>,
+    /// Shared node arena for every busy line's pending list: one
+    /// allocation for the whole agent, O(1) enqueue/dequeue.
+    slab: PendingSlab<(AgentId, MsgKind)>,
     /// Links to each peer cache, indexed by `AgentId.index() - 2`.
     links: Vec<Link>,
     mem_link: Link,
     next_serve: Tick,
-    /// Reusable snoop-target snapshot, so fan-out does not allocate a
-    /// fresh `Vec<AgentId>` per request.
-    scratch: Vec<AgentId>,
+    /// Serve uncontended LLC-hit reads through [`Self::fast_request`];
+    /// disabled only by the differential fast≡general stream test.
+    fast_path: bool,
     stats: HomeStats,
+    profile: EngineProfile,
 }
 
 /// Outgoing traffic produced by the home agent.
@@ -278,13 +309,25 @@ impl HomeAgent {
             cfg,
             dir: FxHashMap::default(),
             busy: FxHashMap::default(),
-            pending: FxHashMap::default(),
+            slab: PendingSlab::new(),
             links: Vec::new(),
             mem_link,
             next_serve: Tick::ZERO,
-            scratch: Vec::new(),
+            fast_path: true,
             stats: HomeStats::default(),
+            profile: EngineProfile::default(),
         }
+    }
+
+    /// Enables/disables the uncontended fast path (on by default; the
+    /// differential stream test runs with it off to pin equivalence).
+    pub(crate) fn set_fast_path(&mut self, on: bool) {
+        self.fast_path = on;
+    }
+
+    /// Hot-path profiling counters accumulated by this agent.
+    pub fn profile(&self) -> EngineProfile {
+        self.profile
     }
 
     pub(crate) fn add_cache_link(&mut self, cfg: sim_core::LinkConfig) {
@@ -316,6 +359,16 @@ impl HomeAgent {
         self.dir.insert(addr.line().raw(), entry);
     }
 
+    /// Updates (creating if absent) the directory entry for `addr` in
+    /// place — the single-probe variant of read-modify-`preload`.
+    pub(crate) fn preload_update(
+        &mut self,
+        addr: simcxl_mem::PhysAddr,
+        f: impl FnOnce(&mut DirEntry),
+    ) {
+        f(self.dir.entry(addr.line().raw()).or_default());
+    }
+
     /// Removes a line entirely (CLFLUSH analog; caller must have
     /// invalidated peers).
     pub(crate) fn flush_line(&mut self, addr: simcxl_mem::PhysAddr) {
@@ -331,7 +384,10 @@ impl HomeAgent {
     }
 
     pub(crate) fn is_quiescent(&self) -> bool {
-        self.busy.is_empty() && self.pending.values().all(VecDeque::is_empty)
+        // Pending lists live inside busy entries, so an empty busy map
+        // implies no queued requests either.
+        debug_assert!(!self.busy.is_empty() || self.slab.live() == 0);
+        self.busy.is_empty()
     }
 
     /// Lower bound on the delay between any message arriving here and
@@ -410,12 +466,20 @@ impl HomeAgent {
                 self.next_serve = start + self.cfg.serve_gap;
                 let t = start + self.cfg.lookup_latency;
                 let key = msg.addr.raw();
-                if self.busy.contains_key(&key) {
-                    self.pending
-                        .entry(key)
-                        .or_default()
-                        .push_back((msg.from, msg.kind));
+                // One busy probe covers both the busy check and the
+                // enqueue: the pending list lives inside the entry.
+                if let Some(line) = self.busy.get_mut(&key) {
+                    self.profile.busy_hits += 1;
+                    self.profile
+                        .pending_depth
+                        .record(u64::from(line.pending.len()));
+                    self.slab.push_back(&mut line.pending, (msg.from, msg.kind));
+                } else if self.fast_path
+                    && self.fast_request(msg.from, msg.kind, key, msg.addr, t, out)
+                {
+                    self.profile.fast_path += 1;
                 } else {
+                    self.profile.general_path += 1;
                     self.process_request(msg.from, msg.kind, msg.addr, t, out);
                 }
             }
@@ -439,6 +503,91 @@ impl HomeAgent {
         }
     }
 
+    /// Uncontended fast path: an `RdShared`/`RdOwn` that hits the LLC
+    /// with no foreign owner and no other sharers needs no transaction,
+    /// no snoops, and no replay machinery — one directory probe, one
+    /// grant. Returns `false` (without side effects) when the request
+    /// does not qualify; the caller falls back to
+    /// [`Self::process_request`], which reproduces the exact same grant
+    /// for the qualifying cases, so the completion stream is identical
+    /// either way (pinned by the differential stream test).
+    #[inline]
+    fn fast_request(
+        &mut self,
+        from: AgentId,
+        kind: MsgKind,
+        key: u64,
+        addr: simcxl_mem::PhysAddr,
+        t: Tick,
+        out: &mut HomeOutbox,
+    ) -> bool {
+        if !matches!(kind, MsgKind::RdShared | MsgKind::RdOwn) {
+            return false;
+        }
+        let Some(e) = self.dir.get_mut(&key) else {
+            return false; // LLC miss: general path fetches from memory.
+        };
+        if e.owner.is_some() && e.owner != Some(from) {
+            return false; // Foreign owner: general path snoops.
+        }
+        let grant = match kind {
+            MsgKind::RdShared => {
+                if e.sharers.is_empty() && e.owner.is_none() {
+                    e.owner = Some(from);
+                    MsgKind::DataGoE
+                } else {
+                    // Requester may be re-reading its own line.
+                    if e.owner == Some(from) {
+                        e.owner = None;
+                    }
+                    e.sharers.insert(from);
+                    MsgKind::DataGoS
+                }
+            }
+            _ => {
+                // RdOwn: only when no *other* sharer holds a copy.
+                if e.sharers.word() & !SharerSet::bit(from) != 0 {
+                    return false;
+                }
+                let upgrade = e.sharers.contains(&from) || e.owner == Some(from);
+                e.sharers.remove(&from);
+                e.owner = Some(from);
+                if upgrade {
+                    MsgKind::GoUpgrade
+                } else {
+                    MsgKind::DataGoE
+                }
+            }
+        };
+        self.stats.llc_hits += 1;
+        self.send_to_cache(t, from, grant, addr, Some(HitLevel::Llc), out);
+        true
+    }
+
+    /// Sends `kind` to every agent whose bit is set in `word`, in
+    /// ascending index order — the batched snoop fan-out. Iterating the
+    /// `SharerSet` word directly replaces the per-request scratch
+    /// `Vec<AgentId>` snapshot.
+    fn fan_out(
+        &mut self,
+        t: Tick,
+        mut word: u64,
+        kind: MsgKind,
+        addr: simcxl_mem::PhysAddr,
+        out: &mut HomeOutbox,
+    ) {
+        out.msgs.reserve(word.count_ones() as usize);
+        while word != 0 {
+            let i = word.trailing_zeros() as usize;
+            word &= word - 1;
+            self.send_to_cache(t, AgentId(i), kind, addr, None, out);
+        }
+    }
+
+    /// Dispatches one request against the directory. Returns `true`
+    /// when the request allocated a busy transaction (the line is now
+    /// occupied), `false` when it completed inline — the replay loop
+    /// uses this to stop draining without re-probing the busy map.
     fn process_request(
         &mut self,
         from: AgentId,
@@ -446,183 +595,166 @@ impl HomeAgent {
         addr: simcxl_mem::PhysAddr,
         t: Tick,
         out: &mut HomeOutbox,
-    ) {
+    ) -> bool {
         let key = addr.raw();
         match kind {
-            MsgKind::RdShared => {
-                match self.dir.get(&key) {
-                    None => {
-                        self.stats.mem_fetches += 1;
-                        self.busy.insert(key, HomeTx::Fetch { requester: from });
-                        self.send_to_mem(t, MsgKind::MemRd, addr, out);
-                    }
-                    Some(e) if e.owner.is_some() && e.owner != Some(from) => {
-                        let owner = e.owner.expect("checked");
+            MsgKind::RdShared => match self.dir.get_mut(&key) {
+                None => {
+                    self.stats.mem_fetches += 1;
+                    self.busy
+                        .insert(key, BusyLine::new(HomeTx::Fetch { requester: from }));
+                    self.send_to_mem(t, MsgKind::MemRd, addr, out);
+                    true
+                }
+                Some(e) if e.owner.is_some() && e.owner != Some(from) => {
+                    let owner = e.owner.expect("checked");
+                    self.stats.snoops_sent += 1;
+                    self.profile.snoop_fanout.record(1);
+                    self.busy.insert(
+                        key,
+                        BusyLine::new(HomeTx::Collect {
+                            requester: from,
+                            for_own: false,
+                            pending: 1,
+                            dirty_seen: false,
+                            upgrade: false,
+                            ncp: false,
+                        }),
+                    );
+                    self.send_to_cache(t, owner, MsgKind::SnpData, addr, None, out);
+                    true
+                }
+                Some(e) => {
+                    self.stats.llc_hits += 1;
+                    let grant = if e.sharers.is_empty() && e.owner.is_none() {
+                        e.owner = Some(from);
+                        MsgKind::DataGoE
+                    } else {
+                        // Requester may be re-reading its own line.
+                        if e.owner == Some(from) {
+                            e.owner = None;
+                        }
+                        e.sharers.insert(from);
+                        MsgKind::DataGoS
+                    };
+                    self.send_to_cache(t, from, grant, addr, Some(HitLevel::Llc), out);
+                    false
+                }
+            },
+            MsgKind::RdOwn => match self.dir.get_mut(&key) {
+                None => {
+                    self.stats.mem_fetches += 1;
+                    self.busy
+                        .insert(key, BusyLine::new(HomeTx::Fetch { requester: from }));
+                    self.send_to_mem(t, MsgKind::MemRd, addr, out);
+                    true
+                }
+                Some(e) => {
+                    let owner = e.owner;
+                    // Snoop targets as a bit word: sharers minus the
+                    // requester, iterated in ascending order below —
+                    // the same order the former Vec snapshot produced.
+                    let others = e.sharers.word() & !SharerSet::bit(from);
+                    let upgrade = e.sharers.contains(&from) || owner == Some(from);
+                    if let Some(o) = owner.filter(|&o| o != from) {
                         self.stats.snoops_sent += 1;
+                        self.profile.snoop_fanout.record(1);
                         self.busy.insert(
                             key,
-                            HomeTx::Collect {
+                            BusyLine::new(HomeTx::Collect {
                                 requester: from,
-                                for_own: false,
+                                for_own: true,
                                 pending: 1,
                                 dirty_seen: false,
                                 upgrade: false,
                                 ncp: false,
-                            },
+                            }),
                         );
-                        self.send_to_cache(t, owner, MsgKind::SnpData, addr, None, out);
-                    }
-                    Some(_) => {
-                        self.stats.llc_hits += 1;
-                        let e = self.dir.get_mut(&key).expect("checked");
-                        let alone = e.sharers.is_empty() && e.owner.is_none();
-                        if alone {
-                            e.owner = Some(from);
-                            self.send_to_cache(
-                                t,
-                                from,
-                                MsgKind::DataGoE,
-                                addr,
-                                Some(HitLevel::Llc),
-                                out,
-                            );
-                        } else {
-                            // Requester may be re-reading its own line.
-                            if e.owner == Some(from) {
-                                e.owner = None;
-                            }
-                            e.sharers.insert(from);
-                            self.send_to_cache(
-                                t,
-                                from,
-                                MsgKind::DataGoS,
-                                addr,
-                                Some(HitLevel::Llc),
-                                out,
-                            );
-                        }
-                    }
-                }
-            }
-            MsgKind::RdOwn => {
-                // Snapshot snoop targets into the reusable scratch buffer
-                // instead of allocating a Vec per request.
-                let mut targets = std::mem::take(&mut self.scratch);
-                targets.clear();
-                match self.dir.get(&key) {
-                    None => {
-                        self.stats.mem_fetches += 1;
-                        self.busy.insert(key, HomeTx::Fetch { requester: from });
-                        self.send_to_mem(t, MsgKind::MemRd, addr, out);
-                    }
-                    Some(e) => {
-                        let owner = e.owner;
-                        targets.extend(e.sharers.iter().filter(|&a| a != from));
-                        let upgrade = e.sharers.contains(&from) || owner == Some(from);
-                        if let Some(o) = owner.filter(|&o| o != from) {
-                            self.stats.snoops_sent += 1;
-                            self.busy.insert(
-                                key,
-                                HomeTx::Collect {
-                                    requester: from,
-                                    for_own: true,
-                                    pending: 1,
-                                    dirty_seen: false,
-                                    upgrade: false,
-                                    ncp: false,
-                                },
-                            );
-                            self.send_to_cache(t, o, MsgKind::SnpInv, addr, None, out);
-                        } else if !targets.is_empty() {
-                            self.stats.snoops_sent += targets.len() as u64;
-                            self.busy.insert(
-                                key,
-                                HomeTx::Collect {
-                                    requester: from,
-                                    for_own: true,
-                                    pending: targets.len(),
-                                    dirty_seen: false,
-                                    upgrade,
-                                    ncp: false,
-                                },
-                            );
-                            for &o in &targets {
-                                self.send_to_cache(t, o, MsgKind::SnpInv, addr, None, out);
-                            }
-                        } else {
-                            // No other copies.
-                            self.stats.llc_hits += 1;
-                            let e = self.dir.get_mut(&key).expect("checked");
-                            e.sharers.remove(&from);
-                            e.owner = Some(from);
-                            let kind = if upgrade {
-                                MsgKind::GoUpgrade
-                            } else {
-                                MsgKind::DataGoE
-                            };
-                            self.send_to_cache(t, from, kind, addr, Some(HitLevel::Llc), out);
-                        }
-                    }
-                }
-                self.scratch = targets;
-            }
-            MsgKind::ItoMWr => {
-                let mut targets = std::mem::take(&mut self.scratch);
-                targets.clear();
-                match self.dir.get(&key) {
-                    None => {
-                        // Full-line write: no memory fetch needed.
-                        self.stats.ncp_pushes += 1;
-                        self.dir.insert(
+                        self.send_to_cache(t, o, MsgKind::SnpInv, addr, None, out);
+                        true
+                    } else if others != 0 {
+                        let n = others.count_ones() as usize;
+                        self.stats.snoops_sent += n as u64;
+                        self.profile.snoop_fanout.record(n as u64);
+                        self.busy.insert(
                             key,
-                            DirEntry {
-                                owner: None,
-                                sharers: SharerSet::default(),
-                                dirty: true,
-                            },
+                            BusyLine::new(HomeTx::Collect {
+                                requester: from,
+                                for_own: true,
+                                pending: n,
+                                dirty_seen: false,
+                                upgrade,
+                                ncp: false,
+                            }),
                         );
-                        self.send_to_cache(t, from, MsgKind::GoNcp, addr, Some(HitLevel::Llc), out);
-                    }
-                    Some(e) => {
-                        // Owner first, then sharers, matching the former
-                        // owner-chain-others snapshot order exactly.
-                        targets.extend(e.owner.iter().copied().filter(|&o| o != from));
-                        targets.extend(e.sharers.iter().filter(|&a| a != from));
-                        if targets.is_empty() {
-                            self.stats.ncp_pushes += 1;
-                            let e = self.dir.get_mut(&key).expect("checked");
-                            e.owner = None;
-                            e.sharers.clear();
-                            e.dirty = true;
-                            self.send_to_cache(
-                                t,
-                                from,
-                                MsgKind::GoNcp,
-                                addr,
-                                Some(HitLevel::Llc),
-                                out,
-                            );
+                        self.fan_out(t, others, MsgKind::SnpInv, addr, out);
+                        true
+                    } else {
+                        // No other copies.
+                        self.stats.llc_hits += 1;
+                        e.sharers.remove(&from);
+                        e.owner = Some(from);
+                        let grant = if upgrade {
+                            MsgKind::GoUpgrade
                         } else {
-                            self.stats.snoops_sent += targets.len() as u64;
-                            self.busy.insert(
-                                key,
-                                HomeTx::Collect {
-                                    requester: from,
-                                    for_own: true,
-                                    pending: targets.len(),
-                                    dirty_seen: false,
-                                    upgrade: false,
-                                    ncp: true,
-                                },
-                            );
-                            for &o in &targets {
-                                self.send_to_cache(t, o, MsgKind::SnpInv, addr, None, out);
-                            }
-                        }
+                            MsgKind::DataGoE
+                        };
+                        self.send_to_cache(t, from, grant, addr, Some(HitLevel::Llc), out);
+                        false
                     }
                 }
-                self.scratch = targets;
-            }
+            },
+            MsgKind::ItoMWr => match self.dir.get_mut(&key) {
+                None => {
+                    // Full-line write: no memory fetch needed.
+                    self.stats.ncp_pushes += 1;
+                    self.dir.insert(
+                        key,
+                        DirEntry {
+                            owner: None,
+                            sharers: SharerSet::default(),
+                            dirty: true,
+                        },
+                    );
+                    self.send_to_cache(t, from, MsgKind::GoNcp, addr, Some(HitLevel::Llc), out);
+                    false
+                }
+                Some(e) => {
+                    // Owner first, then sharers ascending — the same
+                    // order the former owner-then-others snapshot
+                    // produced.
+                    let owner = e.owner.filter(|&o| o != from);
+                    let others = e.sharers.word() & !SharerSet::bit(from);
+                    let n = usize::from(owner.is_some()) + others.count_ones() as usize;
+                    if n == 0 {
+                        self.stats.ncp_pushes += 1;
+                        e.owner = None;
+                        e.sharers.clear();
+                        e.dirty = true;
+                        self.send_to_cache(t, from, MsgKind::GoNcp, addr, Some(HitLevel::Llc), out);
+                        false
+                    } else {
+                        self.stats.snoops_sent += n as u64;
+                        self.profile.snoop_fanout.record(n as u64);
+                        self.busy.insert(
+                            key,
+                            BusyLine::new(HomeTx::Collect {
+                                requester: from,
+                                for_own: true,
+                                pending: n,
+                                dirty_seen: false,
+                                upgrade: false,
+                                ncp: true,
+                            }),
+                        );
+                        if let Some(o) = owner {
+                            self.send_to_cache(t, o, MsgKind::SnpInv, addr, None, out);
+                        }
+                        self.fan_out(t, others, MsgKind::SnpInv, addr, out);
+                        true
+                    }
+                }
+            },
             MsgKind::DirtyEvict => {
                 let is_owner = self
                     .dir
@@ -631,11 +763,14 @@ impl HomeAgent {
                     .unwrap_or(false);
                 if is_owner {
                     self.stats.write_pulls += 1;
-                    self.busy.insert(key, HomeTx::WritePull { evictor: from });
+                    self.busy
+                        .insert(key, BusyLine::new(HomeTx::WritePull { evictor: from }));
                     self.send_to_cache(t, from, MsgKind::GoWritePull, addr, None, out);
+                    true
                 } else {
                     // Stale eviction (the line was snooped away first).
                     self.send_to_cache(t, from, MsgKind::GoI, addr, None, out);
+                    false
                 }
             }
             MsgKind::CleanEvict => {
@@ -645,6 +780,7 @@ impl HomeAgent {
                         e.owner = None;
                     }
                 }
+                false
             }
             other => panic!("process_request on {:?}", other),
         }
@@ -652,100 +788,137 @@ impl HomeAgent {
 
     fn snoop_resp(&mut self, msg: Msg, dirty: bool, _inv: bool, t: Tick, out: &mut HomeOutbox) {
         let key = msg.addr.raw();
-        let finish = {
-            let tx = self
-                .busy
-                .get_mut(&key)
-                .unwrap_or_else(|| panic!("snoop response for idle line {}", msg.addr));
-            match tx {
-                HomeTx::Collect {
-                    pending,
-                    dirty_seen,
-                    ..
-                } => {
-                    *pending -= 1;
-                    *dirty_seen |= dirty;
-                    *pending == 0
+        // One busy probe for both the countdown and the finish-removal:
+        // an occupied entry is decremented in place and removed (with
+        // its pending list) the moment the last response lands.
+        let finished = match self.busy.entry(key) {
+            Entry::Occupied(mut o) => {
+                let finish = match &mut o.get_mut().tx {
+                    HomeTx::Collect {
+                        pending,
+                        dirty_seen,
+                        ..
+                    } => {
+                        *pending -= 1;
+                        *dirty_seen |= dirty;
+                        *pending == 0
+                    }
+                    other => panic!("snoop response during {:?}", other),
+                };
+                if finish {
+                    Some(o.remove())
+                } else {
+                    None
                 }
-                other => panic!("snoop response during {:?}", other),
             }
+            Entry::Vacant(_) => panic!("snoop response for idle line {}", msg.addr),
         };
-        // Directory bookkeeping: the responder no longer holds the line
-        // (SnpInv) or has been downgraded to S (SnpData).
-        if let Some(e) = self.dir.get_mut(&key) {
-            match msg.kind {
-                MsgKind::SnpRespInv { .. } => {
-                    e.sharers.remove(&msg.from);
-                    if e.owner == Some(msg.from) {
-                        e.owner = None;
+        let Some(line) = finished else {
+            // Intermediate response: responder bookkeeping only — the
+            // responder no longer holds the line (SnpInv) or has been
+            // downgraded to S (SnpData).
+            if let Some(e) = self.dir.get_mut(&key) {
+                match msg.kind {
+                    MsgKind::SnpRespInv { .. } => {
+                        e.sharers.remove(&msg.from);
+                        if e.owner == Some(msg.from) {
+                            e.owner = None;
+                        }
                     }
-                }
-                MsgKind::SnpRespDown { .. } => {
-                    if e.owner == Some(msg.from) {
-                        e.owner = None;
+                    MsgKind::SnpRespDown { .. } => {
+                        if e.owner == Some(msg.from) {
+                            e.owner = None;
+                        }
+                        e.sharers.insert(msg.from);
                     }
-                    e.sharers.insert(msg.from);
+                    _ => {}
                 }
-                _ => {}
+                if dirty {
+                    // Peer's modified data lands in the LLC and is
+                    // written through to memory (Fig. 7: "writes back
+                    // dirty data to memory").
+                    e.dirty = false;
+                }
             }
             if dirty {
-                // Peer's modified data lands in the LLC and is written
-                // through to memory (Fig. 7: "writes back dirty data to
-                // memory").
-                e.dirty = false;
+                self.send_to_mem(t, MsgKind::MemWr, msg.addr, out);
             }
+            return;
+        };
+        let HomeTx::Collect {
+            requester,
+            for_own,
+            dirty_seen,
+            upgrade,
+            ncp,
+            ..
+        } = line.tx
+        else {
+            unreachable!("entry arm verified a Collect");
+        };
+        // Final response: one dir probe covers both the responder
+        // bookkeeping and the grant update (the or_default entry is
+        // only reachable when the grant overwrites it anyway).
+        let e = self.dir.entry(key).or_default();
+        match msg.kind {
+            MsgKind::SnpRespInv { .. } => {
+                e.sharers.remove(&msg.from);
+                if e.owner == Some(msg.from) {
+                    e.owner = None;
+                }
+            }
+            MsgKind::SnpRespDown { .. } => {
+                if e.owner == Some(msg.from) {
+                    e.owner = None;
+                }
+                e.sharers.insert(msg.from);
+            }
+            _ => {}
         }
+        if dirty {
+            e.dirty = false;
+        }
+        // `dirty_seen` already folded in this response's dirty bit
+        // during the countdown above.
+        let level = if dirty_seen {
+            HitLevel::Peer
+        } else {
+            HitLevel::Llc
+        };
+        let grant = if ncp {
+            self.stats.ncp_pushes += 1;
+            e.owner = None;
+            e.sharers.clear();
+            e.dirty = true;
+            MsgKind::GoNcp
+        } else if for_own {
+            let requester_has_data = upgrade && e.sharers.contains(&requester);
+            e.sharers.remove(&requester);
+            e.owner = Some(requester);
+            if requester_has_data {
+                MsgKind::GoUpgrade
+            } else {
+                MsgKind::DataGoE
+            }
+        } else {
+            e.sharers.insert(requester);
+            MsgKind::DataGoS
+        };
         if dirty {
             self.send_to_mem(t, MsgKind::MemWr, msg.addr, out);
         }
-        if finish {
-            let tx = self.busy.remove(&key).expect("checked");
-            if let HomeTx::Collect {
-                requester,
-                for_own,
-                dirty_seen,
-                upgrade,
-                ncp,
-                ..
-            } = tx
-            {
-                let level = if dirty_seen {
-                    HitLevel::Peer
-                } else {
-                    HitLevel::Llc
-                };
-                if ncp {
-                    self.stats.ncp_pushes += 1;
-                    let e = self.dir.entry(key).or_default();
-                    e.owner = None;
-                    e.sharers.clear();
-                    e.dirty = true;
-                    self.send_to_cache(t, requester, MsgKind::GoNcp, msg.addr, Some(level), out);
-                } else if for_own {
-                    let e = self.dir.entry(key).or_default();
-                    let requester_has_data = upgrade && e.sharers.contains(&requester);
-                    e.sharers.remove(&requester);
-                    e.owner = Some(requester);
-                    let kind = if requester_has_data {
-                        MsgKind::GoUpgrade
-                    } else {
-                        MsgKind::DataGoE
-                    };
-                    self.send_to_cache(t, requester, kind, msg.addr, Some(level), out);
-                } else {
-                    let e = self.dir.entry(key).or_default();
-                    e.sharers.insert(requester);
-                    self.send_to_cache(t, requester, MsgKind::DataGoS, msg.addr, Some(level), out);
-                }
-            }
-            self.replay_pending(key, msg.addr, t, out);
-        }
+        self.send_to_cache(t, requester, grant, msg.addr, Some(level), out);
+        self.replay_pending(key, line.pending, msg.addr, t, out);
     }
 
     fn wb_data(&mut self, msg: Msg, t: Tick, out: &mut HomeOutbox) {
         let key = msg.addr.raw();
-        match self.busy.remove(&key) {
-            Some(HomeTx::WritePull { evictor }) => {
+        let line = self.busy.remove(&key);
+        match line {
+            Some(BusyLine {
+                tx: HomeTx::WritePull { evictor },
+                pending,
+            }) => {
                 if let Some(e) = self.dir.get_mut(&key) {
                     if e.owner == Some(evictor) {
                         e.owner = None;
@@ -755,16 +928,20 @@ impl HomeAgent {
                 }
                 self.send_to_mem(t, MsgKind::MemWr, msg.addr, out);
                 self.send_to_cache(t, evictor, MsgKind::GoI, msg.addr, None, out);
-                self.replay_pending(key, msg.addr, t, out);
+                self.replay_pending(key, pending, msg.addr, t, out);
             }
-            other => panic!("WbData during {:?}", other),
+            other => panic!("WbData during {:?}", other.map(|l| l.tx)),
         }
     }
 
     fn mem_data(&mut self, msg: Msg, t: Tick, out: &mut HomeOutbox) {
         let key = msg.addr.raw();
-        match self.busy.remove(&key) {
-            Some(HomeTx::Fetch { requester }) => {
+        let line = self.busy.remove(&key);
+        match line {
+            Some(BusyLine {
+                tx: HomeTx::Fetch { requester },
+                pending,
+            }) => {
                 // Freshly fetched: grant E (sole copy) regardless of
                 // read-for-share vs read-for-ownership.
                 self.dir.insert(
@@ -783,35 +960,43 @@ impl HomeAgent {
                     Some(HitLevel::Mem),
                     out,
                 );
-                self.replay_pending(key, msg.addr, t, out);
+                self.replay_pending(key, pending, msg.addr, t, out);
             }
-            other => panic!("MemData during {:?}", other),
+            other => panic!("MemData during {:?}", other.map(|l| l.tx)),
         }
     }
 
+    /// Drains the pending list a retired transaction left behind.
+    ///
+    /// The list arrives *by value* (it was embedded in the removed busy
+    /// entry), so the drain itself touches no hash map at all: pop from
+    /// the slab, dispatch, repeat. Draining must continue past requests
+    /// that finish inline (LLC hit, evict notice) — stopping there
+    /// would strand the remainder forever — and stops only when a
+    /// dispatch re-occupies the line (its own completion will replay
+    /// the rest). Only at that point does a single busy probe run, to
+    /// hand the remaining list to the new transaction.
     fn replay_pending(
         &mut self,
         key: u64,
+        mut list: PendingList,
         addr: simcxl_mem::PhysAddr,
         t: Tick,
         out: &mut HomeOutbox,
     ) {
-        // Drain queued requests until one re-occupies the line (its own
-        // completion will replay the rest) or the queue empties. Stopping
-        // after a request that finishes inline (LLC hit, evict notice)
-        // would strand the remainder forever.
-        while !self.busy.contains_key(&key) {
-            let Some(q) = self.pending.get_mut(&key) else {
-                return;
-            };
-            let Some((from, kind)) = q.pop_front() else {
-                self.pending.remove(&key);
-                return;
-            };
-            if q.is_empty() {
-                self.pending.remove(&key);
+        let mut chain = 0u64;
+        while let Some((from, kind)) = self.slab.pop_front(&mut list) {
+            chain += 1;
+            if self.process_request(from, kind, addr, t, out) {
+                if !list.is_empty() {
+                    let line = self.busy.get_mut(&key).expect("dispatch busied the line");
+                    line.pending = list;
+                }
+                break;
             }
-            self.process_request(from, kind, addr, t, out);
+        }
+        if chain > 0 {
+            self.profile.replay_chain.record(chain);
         }
     }
 }

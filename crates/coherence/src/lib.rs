@@ -55,6 +55,8 @@ pub mod hierarchy;
 pub mod home;
 pub mod msg;
 pub mod parallel;
+pub(crate) mod pending;
+pub mod profile;
 pub mod topology;
 
 pub use config::{CacheConfig, EngineConfig, HomeConfig, ParallelConfig};
@@ -66,6 +68,7 @@ pub use fault::{
 pub use funcmem::{AtomicKind, FuncMem};
 pub use home::{HomeStats, HomeStatsView};
 pub use msg::{AgentId, HitLevel, MemOp, ReqId};
+pub use profile::{DepthHist, EngineProfile};
 pub use topology::{HomeId, Topology};
 
 /// Convenient glob-import of the types most users need.

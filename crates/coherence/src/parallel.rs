@@ -533,7 +533,7 @@ impl ProtocolEngine {
         }
         let mut coord_q: EventQueue<CoordEv> = EventQueue::new();
         while let Some((tick, seq, ev)) = self.queue.pop_seq() {
-            match ev {
+            match ev.unpack() {
                 Ev::Issue { req } => {
                     let r = self.request(req);
                     let s = (r.agent.index() - 2) % nshards;
@@ -673,7 +673,7 @@ impl ProtocolEngine {
                 homes[map.by_shard[s][local] as usize] = Some(h);
             }
             while let Some((tick, seq, ev)) = shard.queue.pop_seq() {
-                self.queue.push_at_seq(tick, seq, unshard_ev(ev));
+                self.queue.push_at_seq(tick, seq, unshard_ev(ev).pack());
             }
             if let Some(f) = &mut self.fault {
                 f.link += shard.fault_link;
@@ -683,7 +683,7 @@ impl ProtocolEngine {
         self.homes = homes.into_iter().map(|h| h.expect("home")).collect();
         for mailbox in &mailboxes {
             for (tick, seq, ev) in mailbox.lock().expect("mailbox poisoned").drain(..) {
-                self.queue.push_at_seq(tick, seq, unshard_ev(ev));
+                self.queue.push_at_seq(tick, seq, unshard_ev(ev).pack());
             }
         }
         while let Some((tick, seq, ev)) = coord_q.pop_seq() {
@@ -695,7 +695,7 @@ impl ProtocolEngine {
                 },
                 CoordEv::Complete { req, level } => Ev::Complete { req, level },
             };
-            self.queue.push_at_seq(tick, seq, ev);
+            self.queue.push_at_seq(tick, seq, ev.pack());
         }
         if t != Tick::MAX && t > self.now {
             self.now = t;

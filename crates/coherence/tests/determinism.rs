@@ -10,7 +10,11 @@ use simcxl_mem::PhysAddr;
 /// hot set (contention, snoops, replays) and a cold set (misses,
 /// evictions), issued in waves so the queue stays partially drained.
 fn run_workload(seed: u64) -> Vec<Completion> {
-    let mut eng = ProtocolEngine::builder().build();
+    run_workload_with(seed, true)
+}
+
+fn run_workload_with(seed: u64, fast_path: bool) -> Vec<Completion> {
+    let mut eng = ProtocolEngine::builder().fast_path(fast_path).build();
     let mut agents = Vec::new();
     for i in 0..6 {
         agents.push(eng.add_cache(if i % 2 == 0 {
@@ -69,6 +73,34 @@ fn identical_runs_produce_identical_completion_streams() {
     // byte-identical-stream check.
     assert_eq!(a, b);
     assert!(a.len() >= 2_500, "workload too small: {}", a.len());
+}
+
+#[test]
+fn fast_path_and_general_path_streams_are_identical() {
+    // The uncontended-line fast path is an *optimization*, not a
+    // protocol variant: with it disabled every request walks the full
+    // directory state machine, and the completion stream — every field
+    // of every completion, in order — must come out byte-identical on
+    // the mixed workload (loads, stores, RMWs, non-coherent pushes,
+    // hot-set contention, cold-set evictions).
+    let fast = run_workload_with(42, true);
+    let general = run_workload_with(42, false);
+    assert_eq!(fast.len(), general.len());
+    assert_eq!(fast, general);
+    // And the fast path actually fires (the equality above is not
+    // vacuous). The first load misses the LLC (general path, memory
+    // fetch, exclusive grant); the second still snoops the exclusive
+    // owner down; the third hits a clean shared line with no owner —
+    // the qualifying shape.
+    let mut eng = ProtocolEngine::builder().build();
+    let caches: Vec<_> = (0..3)
+        .map(|_| eng.add_cache(CacheConfig::cpu_l1()))
+        .collect();
+    for c in caches {
+        eng.issue(c, MemOp::Load, PhysAddr::new(0x40), eng.now());
+        eng.run_to_quiescence();
+    }
+    assert!(eng.profile().fast_path > 0);
 }
 
 #[test]
