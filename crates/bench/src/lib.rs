@@ -4,6 +4,7 @@
 
 pub mod faults;
 pub mod hotpath;
+pub mod rebalance;
 pub mod scenarios;
 
 use cohet::experiments::{self, Tier};

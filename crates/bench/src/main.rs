@@ -3,7 +3,7 @@
 //! ```text
 //! simcxl-report [table1|fig12|fig13|fig14|fig15|fig16|fig17|fig18|
 //!                calibration|headline|shapes|hotpath|scenarios|faults|
-//!                all]
+//!                rebalance|all]
 //!               [--json] [--quick] [--summary] [--profile]
 //!               [--check-determinism] [--expect-mode=full|quick]
 //! ```
@@ -15,23 +15,28 @@
 //! `--json`. `faults` runs the three canonical degradation scenarios
 //! (flaky link, stalling expander, drain under load), writing
 //! `BENCH_faults.json` under `--json` — the run itself asserts the
-//! degradation gates before writing. `--quick` selects the reduced CI
-//! smoke workload. Two read-only modes operate on the already-written
+//! degradation gates before writing. `rebalance` runs the three
+//! canonical adaptive re-interleave scenarios (drifting hot set,
+//! stationary hot set, uniform noop) against their static-weights
+//! controls, writing `BENCH_rebalance.json` under `--json` — the run
+//! asserts the convergence gates before writing. `--quick` selects the
+//! reduced CI smoke workload. Two read-only modes operate on the already-written
 //! report file instead of re-running anything (both exit 2 if the file
 //! is unreadable):
 //!
-//! * `hotpath|scenarios|faults --summary` prints the per-variant
-//!   summary blocks (what CI logs instead of ad-hoc JSON digging).
+//! * `hotpath|scenarios|faults|rebalance --summary` prints the
+//!   per-variant summary blocks (what CI logs instead of ad-hoc JSON
+//!   digging).
 //! * `hotpath --profile` prints each stress variant's hot-path profile
 //!   block (busy-hit/fast-path/general split, pending-depth and
 //!   snoop-fan-out histograms) from the written report — the
 //!   measurement layer behind the dense-contention restructure.
-//! * `hotpath|scenarios|faults --check-determinism` verifies the
-//!   pinned checksums for the report's mode and exits 1 on drift — the
-//!   gating determinism canaries of the CI perf job (`hotpath` pins
+//! * `hotpath|scenarios|faults|rebalance --check-determinism` verifies
+//!   the pinned checksums for the report's mode and exits 1 on drift —
+//!   the gating determinism canaries of the CI perf job (`hotpath` pins
 //!   the wave-driven `stress` checksum *and* the dense upfront-batch
-//!   `stress_parallel` checksum, `scenarios` and `faults` pin all three
-//!   of their case checksums). `--expect-mode=quick` additionally fails (exit 1)
+//!   `stress_parallel` checksum; `scenarios`, `faults`, and `rebalance`
+//!   pin all three of their case checksums). `--expect-mode=quick` additionally fails (exit 1)
 //!   unless the file records that mode: CI uses it to prove the
 //!   checked file was written by *this run's* quick bench rather than
 //!   falling back to the committed full-mode file when the bench step
@@ -50,11 +55,12 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "all".to_owned());
     if summary || profile || check {
-        if arg != "hotpath" && arg != "scenarios" && arg != "faults" {
+        if arg != "hotpath" && arg != "scenarios" && arg != "faults" && arg != "rebalance" {
             eprintln!(
                 "--summary/--profile/--check-determinism apply to the hotpath, \
-                 scenarios, and faults reports: run `simcxl-report \
-                 hotpath|scenarios|faults --summary|--profile|--check-determinism`"
+                 scenarios, faults, and rebalance reports: run `simcxl-report \
+                 hotpath|scenarios|faults|rebalance \
+                 --summary|--profile|--check-determinism`"
             );
             std::process::exit(2);
         }
@@ -68,6 +74,7 @@ fn main() {
         let path = match arg.as_str() {
             "hotpath" => simcxl_bench::hotpath::report_path(),
             "scenarios" => simcxl_bench::scenarios::report_path(),
+            "rebalance" => simcxl_bench::rebalance::report_path(),
             _ => simcxl_bench::faults::report_path(),
         };
         let report = match std::fs::read_to_string(path) {
@@ -81,6 +88,7 @@ fn main() {
             match arg.as_str() {
                 "hotpath" => print!("{}", simcxl_bench::hotpath::summary(&report)),
                 "scenarios" => print!("{}", simcxl_bench::scenarios::summary(&report)),
+                "rebalance" => print!("{}", simcxl_bench::rebalance::summary(&report)),
                 _ => print!("{}", simcxl_bench::faults::summary(&report)),
             }
         }
@@ -111,6 +119,7 @@ fn main() {
                     )
                 }),
                 "scenarios" => simcxl_bench::scenarios::check_determinism(&report),
+                "rebalance" => simcxl_bench::rebalance::check_determinism(&report),
                 _ => simcxl_bench::faults::check_determinism(&report),
             };
             match verdict {
@@ -149,6 +158,15 @@ fn main() {
                         .expect("writing BENCH_faults.json failed")
                 } else {
                     simcxl_bench::faults::report_json(quick)
+                };
+                print!("{out}");
+            }
+            "rebalance" => {
+                let out = if json {
+                    simcxl_bench::rebalance::write_report(quick)
+                        .expect("writing BENCH_rebalance.json failed")
+                } else {
+                    simcxl_bench::rebalance::report_json(quick)
                 };
                 print!("{out}");
             }

@@ -57,6 +57,7 @@ pub mod msg;
 pub mod parallel;
 pub(crate) mod pending;
 pub mod profile;
+pub mod rebalance;
 pub mod topology;
 
 pub use config::{CacheConfig, EngineConfig, HomeConfig, ParallelConfig};
@@ -69,6 +70,7 @@ pub use funcmem::{AtomicKind, FuncMem};
 pub use home::{HomeStats, HomeStatsView};
 pub use msg::{AgentId, HitLevel, MemOp, ReqId};
 pub use profile::{DepthHist, EngineProfile};
+pub use rebalance::{RebalanceController, RebalanceDecision, RebalanceSpec};
 pub use topology::{HomeId, Topology};
 
 /// Convenient glob-import of the types most users need.

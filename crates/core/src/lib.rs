@@ -45,11 +45,13 @@ pub mod experiments;
 pub mod extensions;
 pub mod faults;
 pub mod profile;
+pub mod rebalance;
 pub mod system;
 pub mod topo;
 
 pub use faults::{FaultCase, FaultOutcome, FaultPhase};
 pub use profile::DeviceProfile;
+pub use rebalance::{EpochReport, RebalanceCase, RebalanceOutcome, RebalanceRun};
 pub use system::{CohetError, CohetProcess, CohetSystem, KernelCtx};
 pub use topo::TopologySpec;
 

@@ -5,7 +5,7 @@ use crate::topo::TopologySpec;
 use cohet_os::{AccessKind, Accessor, NodeId, NodeKind, NumaTopology, OsError, Process, VirtAddr};
 use sim_core::Tick;
 use simcxl_coherence::prelude::*;
-use simcxl_coherence::AtomicKind;
+use simcxl_coherence::{AtomicKind, RebalanceSpec};
 use simcxl_cxl::{Atc, AtcConfig, IommuConfig};
 use simcxl_mem::{AddrRange, DramConfig, DramKind, MemoryInterface, PhysAddr};
 use simcxl_workloads::scenario::{self, ScenarioOutcome, ScenarioSpec};
@@ -48,6 +48,7 @@ pub struct CohetSystem {
     topo: TopologySpec,
     parallel_threads: usize,
     fault: Option<FaultPlan>,
+    rebalance: Option<RebalanceSpec>,
 }
 
 /// Builder for [`CohetSystem`].
@@ -72,6 +73,7 @@ pub struct CohetSystemBuilder {
     legacy_weights: Option<Vec<u64>>,
     parallel_threads: usize,
     fault: Option<FaultPlan>,
+    rebalance: Option<RebalanceSpec>,
 }
 
 impl Default for CohetSystemBuilder {
@@ -88,6 +90,7 @@ impl Default for CohetSystemBuilder {
             legacy_weights: None,
             parallel_threads: 1,
             fault: None,
+            rebalance: None,
         }
     }
 }
@@ -302,6 +305,16 @@ impl CohetSystemBuilder {
         self
     }
 
+    /// Arms the epoch-based online re-interleave controller (see
+    /// [`crate::rebalance`]): the epoch driver reads this spec back via
+    /// [`CohetSystem::rebalance_spec`] and consults a
+    /// [`simcxl_coherence::RebalanceController`] at quiescent epoch
+    /// boundaries.
+    pub fn rebalance(mut self, spec: RebalanceSpec) -> Self {
+        self.rebalance = Some(spec);
+        self
+    }
+
     /// Finishes the description, folding any deprecated topology knobs
     /// into the equivalent [`TopologySpec`].
     ///
@@ -349,6 +362,7 @@ impl CohetSystemBuilder {
             topo,
             parallel_threads: self.parallel_threads,
             fault: self.fault,
+            rebalance: self.rebalance,
         }
     }
 }
@@ -363,6 +377,12 @@ impl CohetSystem {
     /// folding).
     pub fn topology_spec(&self) -> &TopologySpec {
         &self.topo
+    }
+
+    /// The armed rebalance controller spec, if
+    /// [`rebalance`](CohetSystemBuilder::rebalance) was called.
+    pub fn rebalance_spec(&self) -> Option<&RebalanceSpec> {
+        self.rebalance.as_ref()
     }
 
     /// Builds the physical memory fabric shared by

@@ -6,7 +6,7 @@
 //! bus serializes bursts). Absolute latencies come from per-kind presets
 //! and can be overridden for calibration.
 
-use crate::addr::PhysAddr;
+use crate::addr::{PhysAddr, WeightedInterleave};
 use sim_core::{Link, LinkConfig, Tick};
 
 /// Supported memory technologies (gem5's native models in the paper).
@@ -128,6 +128,65 @@ struct Channel {
     bus: Link,
 }
 
+/// Per-line weighted channel dealing for unequal channel widths: the
+/// same [`WeightedInterleave`] stripe pattern the directory topology
+/// uses, folded into the DRAM decomposition (ROADMAP item 3 — it lives
+/// in `simcxl_mem` for exactly this).
+///
+/// Line `l` takes pattern slot `l % period`; its per-channel line
+/// ordinal is reconstructed in O(1) from the precomputed slot ranks:
+/// `(l / period) * slots_of(channel) + rank(slot)`, where `rank` counts
+/// earlier same-channel slots in the pattern. Equal weights reproduce
+/// the shift/mask decomposition bit-for-bit (the pattern degenerates to
+/// the identity and `rank` to zero), which the no-op checksum pins.
+#[derive(Debug, Clone)]
+struct WeightedChannelMap {
+    /// Channel of each pattern slot.
+    pattern: Vec<u32>,
+    /// Earlier same-channel slots at each pattern slot.
+    rank: Vec<u64>,
+    /// Slots each channel owns per period.
+    per_period: Vec<u64>,
+    period: u64,
+}
+
+impl WeightedChannelMap {
+    fn new(weights: &[u64], channels: u32) -> Self {
+        assert_eq!(
+            weights.len(),
+            channels as usize,
+            "one weight per DRAM channel"
+        );
+        let wi = WeightedInterleave::new(weights, crate::CACHELINE_BYTES);
+        let period = wi.period();
+        let mut per_period = vec![0u64; channels as usize];
+        let mut pattern = Vec::with_capacity(period as usize);
+        let mut rank = Vec::with_capacity(period as usize);
+        for slot in 0..period {
+            let ch = wi.index_of(PhysAddr::new(slot * crate::CACHELINE_BYTES));
+            pattern.push(ch as u32);
+            rank.push(per_period[ch]);
+            per_period[ch] += 1;
+        }
+        WeightedChannelMap {
+            pattern,
+            rank,
+            per_period,
+            period,
+        }
+    }
+
+    /// `(channel, per-channel line ordinal)` of a line index.
+    fn deal(&self, line: u64) -> (usize, u64) {
+        let slot = (line % self.period) as usize;
+        let ch = self.pattern[slot] as usize;
+        (
+            ch,
+            (line / self.period) * self.per_period[ch] + self.rank[slot],
+        )
+    }
+}
+
 /// An event-free DRAM device model: callers ask "access at time T" and get
 /// back the completion time, with bank and bus contention accounted.
 #[derive(Debug)]
@@ -138,6 +197,9 @@ pub struct DramModel {
     /// is power-of-two (every preset is), replacing three divisions per
     /// access with shifts and masks.
     map_shifts: Option<(u32, u32, u32)>,
+    /// Unequal-channel-width dealing; `None` keeps the historical
+    /// equal-width shift/mask (or div/mod) decomposition.
+    weighted: Option<WeightedChannelMap>,
     reads: u64,
     writes: u64,
     row_hits: u64,
@@ -175,10 +237,31 @@ impl DramModel {
             config,
             channels,
             map_shifts,
+            weighted: None,
             reads: 0,
             writes: 0,
             row_hits: 0,
         }
+    }
+
+    /// Creates an idle memory whose channels have *unequal widths*:
+    /// channel `i` absorbs `weights[i] / sum(weights)` of the lines,
+    /// dealt through the same evenly-spread [`WeightedInterleave`]
+    /// stripe pattern the directory topology uses. Bank and row are
+    /// then decomposed from the per-channel line ordinal exactly as in
+    /// the equal-width model, so equal weight vectors reproduce
+    /// [`DramModel::new`]'s shift/mask decomposition bit-for-bit (the
+    /// no-op checksum test pins this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != config.channels`, or on an invalid
+    /// weight vector (see [`WeightedInterleave::new`]).
+    pub fn with_channel_weights(config: DramConfig, weights: &[u64]) -> Self {
+        let weighted = Some(WeightedChannelMap::new(weights, config.channels));
+        let mut model = DramModel::new(config);
+        model.weighted = weighted;
+        model
     }
 
     /// The device configuration.
@@ -186,9 +269,24 @@ impl DramModel {
         &self.config
     }
 
+    /// The `(channel, bank, row)` decomposition of an address — the
+    /// routing every access takes, exposed so differential tests can
+    /// compare the weighted dealing against brute-force pattern
+    /// expansion.
+    pub fn decompose(&self, addr: PhysAddr) -> (usize, usize, u64) {
+        self.map(addr)
+    }
+
     fn map(&self, addr: PhysAddr) -> (usize, usize, u64) {
         // Cacheline-interleave across channels, then banks, then rows.
         let line = addr.raw() / crate::CACHELINE_BYTES;
+        if let Some(w) = &self.weighted {
+            let (ch, per_ch) = w.deal(line);
+            let bank = (per_ch % self.config.banks_per_channel as u64) as usize;
+            let lines_per_row = self.config.row_bytes / crate::CACHELINE_BYTES;
+            let row = per_ch / self.config.banks_per_channel as u64 / lines_per_row;
+            return (ch, bank, row);
+        }
         if let Some((ch_sh, bank_sh, lpr_sh)) = self.map_shifts {
             let ch = (line & ((1 << ch_sh) - 1)) as usize;
             let per_ch = line >> ch_sh;
@@ -356,6 +454,63 @@ mod tests {
                 + cfg.t_cas
                 + LinkConfig::with_gbps(Tick::ZERO, cfg.channel_gbps).serialize_time(64)
         );
+    }
+
+    /// Equal channel weights must reproduce the historical shift/mask
+    /// decomposition bit-for-bit; the folded checksum is pinned so any
+    /// drift in the weighted dealing (or in the default path) is loud.
+    /// Pin established when the weighted dealing landed.
+    #[test]
+    fn equal_weights_are_a_noop_pinned() {
+        const PINNED_DECOMPOSE_CHECKSUM: u64 = 0xd657_595d_6575_7595;
+        let plain = model();
+        let weighted =
+            DramModel::with_channel_weights(DramConfig::preset(DramKind::Ddr5_4400), &[1, 1]);
+        let mut checksum = 0u64;
+        for line in 0..8192u64 {
+            let addr = PhysAddr::new(line * 64);
+            let (ch, bank, row) = plain.decompose(addr);
+            assert_eq!(
+                (ch, bank, row),
+                weighted.decompose(addr),
+                "weighted dealing diverged at line {line}"
+            );
+            checksum = checksum
+                .rotate_left(7)
+                .wrapping_add(ch as u64 ^ (bank as u64) << 8 ^ row << 16);
+        }
+        assert_eq!(
+            checksum, PINNED_DECOMPOSE_CHECKSUM,
+            "DRAM decomposition drifted: got {checksum:#018x}"
+        );
+    }
+
+    /// Unequal widths deal lines in exact weight proportion with dense
+    /// per-channel ordinals (banks keep cycling without holes).
+    #[test]
+    fn unequal_weights_split_proportionally() {
+        let m = DramModel::with_channel_weights(DramConfig::preset(DramKind::Ddr5_4400), &[3, 1]);
+        let mut per_ch = [0u64; 2];
+        for line in 0..4096u64 {
+            let (ch, _, _) = m.decompose(PhysAddr::new(line * 64));
+            per_ch[ch] += 1;
+        }
+        assert_eq!(per_ch, [3072, 1024]);
+    }
+
+    /// Timing equivalence of the no-op: the same access stream completes
+    /// at identical ticks through both models.
+    #[test]
+    fn equal_weights_same_timing() {
+        let mut plain = model();
+        let mut weighted =
+            DramModel::with_channel_weights(DramConfig::preset(DramKind::Ddr5_4400), &[2, 2]);
+        for i in 0..512u64 {
+            let addr = PhysAddr::new((i * 197) % 4096 * 64);
+            let t = Tick::from_ns(i * 3);
+            assert_eq!(plain.read(t, addr, 64), weighted.read(t, addr, 64));
+        }
+        assert_eq!(plain.row_hits(), weighted.row_hits());
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Differential property tests for the weighted-channel DRAM dealing:
+//! the O(1) per-channel ordinal reconstruction must agree with
+//! brute-force pattern expansion for arbitrary (unequal) channel
+//! widths, and equal widths must reproduce the historical shift/mask
+//! decomposition bit-for-bit.
+
+use proptest::prelude::*;
+use simcxl_mem::{DramConfig, DramKind, DramModel, PhysAddr, WeightedInterleave};
+
+fn config(channels: u32, banks: u32, row_bytes: u64) -> DramConfig {
+    DramConfig {
+        channels,
+        banks_per_channel: banks,
+        row_bytes,
+        ..DramConfig::preset(DramKind::Ddr5_4400)
+    }
+}
+
+/// Brute-force oracle: walk the lines in order, deal each to the
+/// channel the stripe pattern names, and hand it the next free
+/// per-channel ordinal; bank and row then follow from the ordinal.
+fn brute_force(
+    weights: &[u64],
+    banks: u32,
+    row_bytes: u64,
+    lines: u64,
+) -> Vec<(usize, usize, u64)> {
+    let wi = WeightedInterleave::new(weights, 64);
+    let mut seen = vec![0u64; weights.len()];
+    let lines_per_row = row_bytes / 64;
+    (0..lines)
+        .map(|line| {
+            let ch = wi.index_of(PhysAddr::new(line * 64));
+            let ordinal = seen[ch];
+            seen[ch] += 1;
+            let bank = (ordinal % banks as u64) as usize;
+            let row = ordinal / banks as u64 / lines_per_row;
+            (ch, bank, row)
+        })
+        .collect()
+}
+
+proptest! {
+    /// Unequal-channel-width mapping ≡ brute-force pattern expansion.
+    #[test]
+    fn weighted_mapping_matches_brute_force(
+        weights in proptest::collection::vec(1u64..6, 1..5),
+        banks_exp in 2u32..5,
+        row_exp in 0u32..2,
+    ) {
+        let banks = 1u32 << banks_exp;
+        let row_bytes = 1024u64 << (2 * row_exp);
+        let channels = weights.len() as u32;
+        let m = DramModel::with_channel_weights(
+            config(channels, banks, row_bytes),
+            &weights,
+        );
+        let lines = 4096u64;
+        let expect = brute_force(&weights, banks, row_bytes, lines);
+        for (line, want) in expect.iter().enumerate() {
+            let got = m.decompose(PhysAddr::new(line as u64 * 64));
+            prop_assert_eq!(&got, want, "diverged at line {}", line);
+        }
+    }
+
+    /// Equal widths reproduce the default (shift/mask or div/mod)
+    /// decomposition bit-for-bit, whatever the common weight value.
+    #[test]
+    fn equal_widths_reproduce_default_mapping(
+        channels_exp in 0u32..4,
+        weight in 1u64..8,
+        banks_exp in 2u32..5,
+        row_exp in 0u32..2,
+    ) {
+        let channels = 1u32 << channels_exp;
+        let banks = 1u32 << banks_exp;
+        let row_bytes = 1024u64 << (2 * row_exp);
+        let weights = vec![weight; channels as usize];
+        let plain = DramModel::new(config(channels, banks, row_bytes));
+        let weighted = DramModel::with_channel_weights(
+            config(channels, banks, row_bytes),
+            &weights,
+        );
+        for line in 0..4096u64 {
+            let addr = PhysAddr::new(line * 64);
+            prop_assert_eq!(plain.decompose(addr), weighted.decompose(addr));
+        }
+    }
+}
