@@ -195,6 +195,39 @@ pub fn summary(json: &str) -> String {
     out
 }
 
+/// Renders a GitHub-flavored markdown digest of a `BENCH_faults.json`
+/// for `$GITHUB_STEP_SUMMARY`: one table row per degradation case
+/// (clients, completed, invariant checks, checksum + recovery
+/// checksum). The degradation gates were already asserted when the
+/// report was produced; the table records what they certified.
+pub fn github_summary(json: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "### faults ({} mode, schema {})\n\n",
+        extract_scalar(json, "mode").unwrap_or("?"),
+        extract_scalar(json, "schema").unwrap_or("?"),
+    ));
+    out.push_str("| case | clients | completed | invariant checks | checksum | recovery |\n");
+    out.push_str("|---|---:|---:|---:|---|---|\n");
+    for (name, _) in PINNED_FAULT_CHECKSUMS_FULL {
+        let sec = extract_section(json, name);
+        let field = |key: &str| {
+            sec.and_then(|s| extract_scalar(s, key))
+                .unwrap_or("?")
+                .to_owned()
+        };
+        out.push_str(&format!(
+            "| {name} | {} | {} | {} | `{}` | `{}` |\n",
+            field("clients"),
+            field("completed"),
+            field("invariant_checks"),
+            field("checksum"),
+            field("recovery_checksum"),
+        ));
+    }
+    out
+}
+
 /// Checks the determinism canary of a `BENCH_faults.json`: every case's
 /// checksum must equal the pinned value for the report's mode. Returns
 /// a one-line confirmation, or a description of the drift.

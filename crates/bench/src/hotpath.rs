@@ -9,7 +9,7 @@
 //! headline simulator-performance metric; the JSON report seeds the perf
 //! trajectory tracked across PRs.
 //!
-//! Four variants (see the README for the full `simcxl-hotpath/v5`
+//! Four variants (see the README for the full `simcxl-hotpath/v6`
 //! schema): `stress` (single home, wave driver — its checksum is the
 //! repo's oldest determinism anchor), `multihome` (the same waves over a
 //! four-home line interleave), `multihome_weighted` (the waves over a
@@ -20,7 +20,10 @@
 //! sequential run before being reported). Since v5 every variant also
 //! embeds a `profile` block — the engine's always-on hot-path counters
 //! (busy-hit/fast-path/general split plus depth histograms), rendered
-//! standalone by `simcxl-report hotpath --profile`.
+//! standalone by `simcxl-report hotpath --profile`. v6 adds the
+//! persistent-worker-pool counters (`pool`: windows, widened windows,
+//! barrier waits, messages crossed) to every profile block — zero for
+//! sequential-only variants, live for `stress_parallel`.
 
 use cohet::experiments;
 use cohet::DeviceProfile;
@@ -476,10 +479,12 @@ fn best_of_two(cfg: &StressConfig) -> StressResult {
     }
 }
 
-// The v5 `profile` block: the engine's always-on hot-path counters for
+// The v6 `profile` block: the engine's always-on hot-path counters for
 // this run (see README for field-by-field docs). Histograms are
 // summarized as count/mean/max — the committed numbers a perf PR argues
 // from; the full bucket vectors stay available via the library API.
+// v6 appends the parallel-executor `pool` counters (all zero when every
+// run in the variant stayed sequential).
 fn push_profile(out: &mut String, r: &StressResult) {
     let p = &r.profile;
     out.push_str("    \"profile\": {\n");
@@ -501,15 +506,18 @@ fn push_profile(out: &mut String, r: &StressResult) {
         ("snoop_fanout", &p.snoop_fanout),
         ("mshr_occupancy", &p.mshr_occupancy),
     ];
-    for (i, (name, h)) in hists.iter().enumerate() {
+    for (name, h) in hists.iter() {
         out.push_str(&format!(
-            "      \"{name}\": {{\"count\": {}, \"mean\": {:.2}, \"max\": {}}}{}\n",
+            "      \"{name}\": {{\"count\": {}, \"mean\": {:.2}, \"max\": {}}},\n",
             h.count,
             h.mean(),
             h.max,
-            if i + 1 < hists.len() { "," } else { "" }
         ));
     }
+    out.push_str(&format!(
+        "      \"pool\": {{\"windows\": {}, \"widened_windows\": {}, \"barrier_waits\": {}, \"msgs_crossed\": {}}}\n",
+        p.pool.windows, p.pool.widened_windows, p.pool.barrier_waits, p.pool.msgs_crossed,
+    ));
     out.push_str("    },\n");
 }
 
@@ -672,7 +680,7 @@ pub fn report_json(quick: bool) -> String {
     let (p_seq, p_par) = stress_parallel_pair(&mh_cfg, threads);
     let figs = figure_timings(quick);
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"simcxl-hotpath/v5\",\n");
+    out.push_str("  \"schema\": \"simcxl-hotpath/v6\",\n");
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
@@ -802,6 +810,63 @@ pub fn summary(json: &str) -> String {
     out
 }
 
+/// Renders a GitHub-flavored markdown digest of a `BENCH_hotpath.json`
+/// for `$GITHUB_STEP_SUMMARY`: one table row per stress variant
+/// (events/sec, ns/event, checksum), then the parallel-executor
+/// headline (threads, speedups, pool counters) and the weighted-stress
+/// balance gate. Pure report-reading — safe to call on any v6 file.
+pub fn github_summary(json: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "### hotpath ({} mode, schema {})\n\n",
+        extract_scalar(json, "mode").unwrap_or("?"),
+        extract_scalar(json, "schema").unwrap_or("?"),
+    ));
+    out.push_str("| variant | events/sec | ns/event | checksum |\n");
+    out.push_str("|---|---:|---:|---|\n");
+    for key in [
+        "stress",
+        "multihome",
+        "multihome_weighted",
+        "stress_parallel",
+    ] {
+        let sec = extract_section(json, key);
+        let field = |name: &str| {
+            sec.and_then(|s| extract_scalar(s, name))
+                .unwrap_or("?")
+                .to_owned()
+        };
+        out.push_str(&format!(
+            "| {key} | {} | {} | `{}` |\n",
+            field("events_per_sec"),
+            field("ns_per_event"),
+            field("checksum"),
+        ));
+    }
+    if let Some(sec) = extract_section(json, "stress_parallel") {
+        let field = |name: &str| extract_scalar(sec, name).unwrap_or("?").to_owned();
+        out.push_str(&format!(
+            "\nparallel: {} threads ({} hw), speedup vs sequential {}, vs multihome {}\n",
+            field("threads"),
+            field("hw_threads"),
+            field("speedup_vs_sequential"),
+            field("speedup_vs_multihome"),
+        ));
+        if let Some(pool) = extract_section(sec, "profile").and_then(|p| extract_section(p, "pool"))
+        {
+            out.push_str(&format!("pool counters: `{pool}`\n"));
+        }
+    }
+    if let Some(err) =
+        extract_section(json, "multihome_weighted").and_then(|s| extract_scalar(s, "balance_error"))
+    {
+        out.push_str(&format!(
+            "weighted balance_error: {err} (gate {BALANCE_ERROR_GATE})\n"
+        ));
+    }
+    out
+}
+
 /// Checks the determinism canaries of a `BENCH_hotpath.json`: the
 /// wave-driven `stress` checksum and the dense upfront-batch
 /// `stress_parallel` checksum must both equal their pinned values for
@@ -875,6 +940,14 @@ pub fn profile_summary(json: &str) -> String {
             None => out.push_str(&format!("\"{key}\": <no profile block (pre-v5 report?)>\n")),
         }
     }
+    // The v6 pool counters of the parallel variant, pulled up as a
+    // headline line so the CI log shows executor behaviour at a glance.
+    if let Some(pool) = extract_section(json, "stress_parallel")
+        .and_then(|sec| extract_section(sec, "profile"))
+        .and_then(|p| extract_section(p, "pool"))
+    {
+        out.push_str(&format!("stress_parallel pool: {pool}\n"));
+    }
     out
 }
 
@@ -932,7 +1005,7 @@ mod tests {
     #[test]
     fn report_json_is_well_formed() {
         let json = report_json(true);
-        assert!(json.contains("\"schema\": \"simcxl-hotpath/v5\""));
+        assert!(json.contains("\"schema\": \"simcxl-hotpath/v6\""));
         assert!(json.contains("\"profile\""));
         assert!(json.contains("\"fast_path_rate\""));
         assert!(json.contains("\"pending_depth\""));
@@ -943,6 +1016,7 @@ mod tests {
         assert!(json.contains("\"weights\": [4, 2, 1, 1]"));
         assert!(json.contains("\"balance_error\""));
         assert!(json.contains("\"stress_parallel\""));
+        assert!(json.contains("\"pool\": {\"windows\""));
         assert!(json.contains("\"matches_sequential_stream\": true"));
         assert!(json.contains("\"speedup_vs_multihome\""));
         assert!(json.contains("\"per_home\""));

@@ -205,6 +205,45 @@ pub fn summary(json: &str) -> String {
     out
 }
 
+/// Renders a GitHub-flavored markdown digest of a
+/// `BENCH_rebalance.json` for `$GITHUB_STEP_SUMMARY`: one table row per
+/// case comparing the adaptive run's final balance error against its
+/// static-weights control (the convergence gates were asserted when the
+/// report was produced).
+pub fn github_summary(json: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "### rebalance ({} mode, schema {})\n\n",
+        extract_scalar(json, "mode").unwrap_or("?"),
+        extract_scalar(json, "schema").unwrap_or("?"),
+    ));
+    out.push_str("| case | clients | adaptive err | static err | rebalances | checksum |\n");
+    out.push_str("|---|---:|---:|---:|---:|---|\n");
+    for (name, _) in PINNED_REBALANCE_CHECKSUMS_FULL {
+        let sec = extract_section(json, name);
+        let field = |key: &str| {
+            sec.and_then(|s| extract_scalar(s, key))
+                .unwrap_or("?")
+                .to_owned()
+        };
+        let sub = |run: &str, key: &str| {
+            sec.and_then(|s| extract_section(s, run))
+                .and_then(|r| extract_scalar(r, key))
+                .unwrap_or("?")
+                .to_owned()
+        };
+        out.push_str(&format!(
+            "| {name} | {} | {} | {} | {} | `{}` |\n",
+            field("clients"),
+            sub("adaptive", "final_balance_error"),
+            sub("static", "final_balance_error"),
+            sub("adaptive", "rebalances"),
+            field("checksum"),
+        ));
+    }
+    out
+}
+
 /// Checks the determinism canary of a `BENCH_rebalance.json`: every
 /// case's checksum must equal the pinned value for the report's mode.
 /// Returns a one-line confirmation, or a description of the drift.

@@ -199,6 +199,36 @@ pub fn summary(json: &str) -> String {
     out
 }
 
+/// Renders a GitHub-flavored markdown digest of a
+/// `BENCH_scenarios.json` for `$GITHUB_STEP_SUMMARY`: one table row per
+/// scenario (clients, completed, events/sec, checksum).
+pub fn github_summary(json: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "### scenarios ({} mode, schema {})\n\n",
+        extract_scalar(json, "mode").unwrap_or("?"),
+        extract_scalar(json, "schema").unwrap_or("?"),
+    ));
+    out.push_str("| scenario | clients | completed | events/sec | checksum |\n");
+    out.push_str("|---|---:|---:|---:|---|\n");
+    for (name, _) in PINNED_SCENARIO_CHECKSUMS_FULL {
+        let sec = extract_section(json, name);
+        let field = |key: &str| {
+            sec.and_then(|s| extract_scalar(s, key))
+                .unwrap_or("?")
+                .to_owned()
+        };
+        out.push_str(&format!(
+            "| {name} | {} | {} | {} | `{}` |\n",
+            field("clients"),
+            field("completed"),
+            field("events_per_sec"),
+            field("checksum"),
+        ));
+    }
+    out
+}
+
 /// Checks the determinism canary of a `BENCH_scenarios.json`: every
 /// scenario's checksum must equal the pinned value for the report's
 /// mode. Returns a one-line confirmation, or a description of the

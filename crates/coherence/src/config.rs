@@ -124,7 +124,16 @@ pub struct ParallelConfig {
 impl ParallelConfig {
     /// Default engagement threshold: below this many pending events a
     /// windowed parallel run is dominated by barrier overhead.
-    pub const DEFAULT_MIN_QUEUE: usize = 512;
+    ///
+    /// Re-tuned for the persistent worker pool: workers are spawned once
+    /// per engine and parked between runs, so a `run_until` call no
+    /// longer pays a per-call thread-spawn bill and only the phase
+    /// synchronization cost has to be amortized. The old threshold (512,
+    /// sized to amortize `thread::scope` spawns) kept wave-style drivers
+    /// — scenario, fault, and rebalance loops issuing hundreds of small
+    /// `run_until` calls — permanently sequential; 128 lets those waves
+    /// engage while still skipping truly tiny batches.
+    pub const DEFAULT_MIN_QUEUE: usize = 128;
 
     /// Policy for `threads` shards with the default engagement
     /// threshold.
@@ -172,6 +181,16 @@ mod tests {
         assert!(l1.link.latency < hmc.link.latency);
         assert_eq!(hmc.size_bytes, 128 * 1024);
         assert_eq!(hmc.ways, 4);
+    }
+
+    #[test]
+    fn min_queue_default_tuned_for_persistent_pool() {
+        // The pool-world threshold: small enough that a 256-request wave
+        // (the scenario drivers' canonical batch) clears it, large enough
+        // that per-request trickles stay sequential.
+        assert_eq!(ParallelConfig::DEFAULT_MIN_QUEUE, 128);
+        assert_eq!(ParallelConfig::new(4).min_queue, 128);
+        assert_eq!(ParallelConfig::always(4).min_queue, 0);
     }
 
     #[test]

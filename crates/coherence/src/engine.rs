@@ -435,6 +435,9 @@ impl ProtocolEngineBuilder {
             home_outbox: HomeOutbox::default(),
             parallel: self.parallel,
             parallel_runs: 0,
+            pool: None,
+            pool_counters: crate::profile::PoolCounters::default(),
+            pool_widen: 1,
             fault,
         }
     }
@@ -475,6 +478,19 @@ pub struct ProtocolEngine {
     pub(crate) parallel: Option<ParallelConfig>,
     /// How many runs actually engaged the parallel executor.
     pub(crate) parallel_runs: u64,
+    /// The persistent worker pool backing parallel runs. Created lazily
+    /// on the first `run_until` that engages and reused by every later
+    /// one (workers park between windows and between runs); dropped —
+    /// joining its threads — when the engine drops or the executor is
+    /// disabled via [`set_parallel`](Self::set_parallel).
+    pub(crate) pool: Option<sim_core::WorkerPool>,
+    /// Cumulative parallel-executor counters (see
+    /// [`PoolCounters`](crate::profile::PoolCounters)).
+    pub(crate) pool_counters: crate::profile::PoolCounters,
+    /// Current adaptive window-widening factor (power of two, ≥ 1).
+    /// Persists across `run_until` calls so wave-style drivers keep the
+    /// width they converged to.
+    pub(crate) pool_widen: u64,
     /// Armed fault-injection plan and its counters, if any.
     pub(crate) fault: Option<FaultState>,
 }
@@ -568,6 +584,7 @@ impl ProtocolEngine {
         for c in &self.caches {
             p.mshr_occupancy += c.mshr_occupancy();
         }
+        p.pool = self.pool_counters;
         p
     }
 
@@ -735,14 +752,36 @@ impl ProtocolEngine {
 
     /// Enables (`threads >= 2`) or disables (`None` / `threads <= 1`)
     /// the parallel executor on an already-built engine.
+    ///
+    /// Disabling drops the persistent worker pool (joining its threads);
+    /// re-enabling later re-creates it lazily on the next engaging run.
+    /// Changing the thread count keeps an already-spawned pool when it is
+    /// large enough and grows it (once) otherwise.
     pub fn set_parallel(&mut self, cfg: Option<ParallelConfig>) {
         self.parallel = cfg;
+        if cfg.is_none_or(|c| c.threads < 2) {
+            self.pool = None;
+        }
     }
 
     /// How many runs engaged the parallel executor so far (perf
     /// accounting; the streams are identical either way).
     pub fn parallel_runs(&self) -> u64 {
         self.parallel_runs
+    }
+
+    /// Cumulative parallel-executor counters (all zero while every run
+    /// stayed sequential). Also folded into [`profile`](Self::profile).
+    pub fn pool_counters(&self) -> crate::profile::PoolCounters {
+        self.pool_counters
+    }
+
+    /// OS thread ids of the persistent worker pool, in worker order;
+    /// `None` until a run has engaged the parallel executor (the pool is
+    /// spawned lazily). Stable across runs — the spawn-once contract
+    /// tests assert on exactly this.
+    pub fn pool_thread_ids(&self) -> Option<Vec<std::thread::ThreadId>> {
+        self.pool.as_ref().map(|p| p.thread_ids())
     }
 
     /// Shard count to engage for a run bounded at `t`, or `None` to

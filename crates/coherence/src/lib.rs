@@ -69,7 +69,7 @@ pub use fault::{
 pub use funcmem::{AtomicKind, FuncMem};
 pub use home::{HomeStats, HomeStatsView};
 pub use msg::{AgentId, HitLevel, MemOp, ReqId};
-pub use profile::{DepthHist, EngineProfile};
+pub use profile::{DepthHist, EngineProfile, PoolCounters};
 pub use rebalance::{RebalanceController, RebalanceDecision, RebalanceSpec};
 pub use topology::{HomeId, Topology};
 

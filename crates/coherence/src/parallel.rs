@@ -57,14 +57,60 @@
 //! window width is derived from the engine's configuration precisely so
 //! this cannot happen).
 //!
+//! # The persistent worker pool
+//!
+//! Worker threads are **not** spawned per `run_until` call. The engine
+//! owns a [`sim_core::WorkerPool`] created lazily on the first run that
+//! engages; its workers park on a condvar between runs and spin/yield
+//! between windows, so a wave-style driver making thousands of small
+//! `run_until` calls (scenario loops, fault arcs, rebalance epochs) pays
+//! the thread-spawn cost once per engine, not once per call. The pool is
+//! dropped — joining its threads — when the engine drops or
+//! [`set_parallel(None)`](crate::ProtocolEngine::set_parallel) disables
+//! the executor. A worker panic is caught at the pool's job boundary,
+//! aborts the coordinator's barrier wait, and is re-raised on the
+//! calling thread.
+//!
+//! # Adaptive macro-windows
+//!
+//! A barrier round per lookahead-wide window is the dominant cost when
+//! traffic is sparse or shard-local. The coordinator therefore plans
+//! *macro-windows* of up to `MAX_WIDEN` (64) lookaheads: inside one
+//! barrier-delimited phase, shards advance through the macro-window in
+//! lookahead-wide *sub-windows* in decentralized lockstep (per-shard
+//! atomic progress counters — no coordinator round-trips). Safety is
+//! restored by **truncation**: the moment any shard emits a message that
+//! leaves it (cross-shard delivery or memory-bound request) inside
+//! sub-window `j`, it publishes `end(j)` into a shared atomic minimum,
+//! and the macro-window ends there for everyone. Since every emission of
+//! sub-window `j` happens at or after the sub-window's start and every
+//! cross-shard hop takes at least one lookahead, nothing can land at or
+//! before `end(j)` — so the truncated window is exactly as safe as a
+//! single-lookahead one. Two further rules keep the merge sound:
+//!
+//! * the planned end never exceeds `first-pending-memory-event + W - 1`,
+//!   so a memory reply generated *at the merge* still lands beyond the
+//!   window it was generated in, and
+//! * completions never truncate: they are coordinator-owned leaves, so a
+//!   widened window batches the serial coordinator work of many
+//!   sub-windows into a single merge (coordinator-leaf batching).
+//!
+//! The widening factor doubles after every window that crossed no shard
+//! boundary, resets to 1 on traffic, and persists across `run_until`
+//! calls. The always-on [`PoolCounters`](crate::profile::PoolCounters)
+//! (`windows`, `widened_windows`, `barrier_waits`, `msgs_crossed`) are
+//! all derived from merge-side state, so they are reproducible for a
+//! given workload and shard count.
+//!
 //! # When it engages
 //!
 //! [`ParallelConfig`](crate::config::ParallelConfig) gates engagement
 //! per `run_until` call (thread count, pending-event threshold, nonzero
 //! lookahead). Because parallel and sequential runs are
 //! indistinguishable in simulation results, the engine switches freely
-//! between them; batch-style drivers (issue many requests, then drain to
-//! quiescence) amortize the per-run thread spawn and barrier costs best.
+//! between them; with the persistent pool the threshold only has to
+//! cover per-window synchronization, so modest request waves engage
+//! profitably, not just upfront-batch drivers.
 
 use crate::cache::Outbox;
 use crate::engine::{Ev, ProtocolEngine};
@@ -73,12 +119,71 @@ use crate::home::HomeOutbox;
 use crate::msg::{AgentId, HitLevel, MemOp, Msg, ReqId};
 use crate::topology::Topology;
 use crate::Completion;
-use sim_core::{EventQueue, PhaseBarrier, Tick};
+use sim_core::shard::spin_or_yield;
+use sim_core::{EventQueue, PhaseBarrier, Tick, WorkerPool};
 use simcxl_mem::PhysAddr;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Maximum macro-window width, in lookaheads. Doubling from 1 caps out
+/// here, so a fully quiet stretch pays one barrier round per 64
+/// lookaheads instead of one per lookahead.
+pub(crate) const MAX_WIDEN: u64 = 64;
+
+/// A cache-line-padded atomic, so per-shard progress counters don't
+/// false-share.
+#[repr(align(64))]
+struct PadAtomic(AtomicU64);
+
+/// Shared control block for one parallel phase (macro-window). Written
+/// by the coordinator before the barrier opens (whose release store
+/// publishes it), read and truncated by the shards during the phase.
+struct WindowCtl {
+    /// Macro-window start, in ps.
+    t0: AtomicU64,
+    /// Planned inclusive macro-window end, in ps.
+    end: AtomicU64,
+    /// Truncated end: the minimum over all published sub-window ends
+    /// whose sub-window emitted a shard-leaving message; `u64::MAX`
+    /// while untruncated. The effective window end is `min(end, trunc)`.
+    trunc: AtomicU64,
+    /// Sub-window width — the engine's lookahead — in ps.
+    sub_w: u64,
+    /// Per-shard count of finished sub-windows in the current phase.
+    progress: Vec<PadAtomic>,
+}
+
+impl WindowCtl {
+    fn new(nshards: usize, w: Tick) -> Self {
+        WindowCtl {
+            t0: AtomicU64::new(0),
+            end: AtomicU64::new(0),
+            trunc: AtomicU64::new(u64::MAX),
+            sub_w: w.as_ps(),
+            progress: (0..nshards).map(|_| PadAtomic(AtomicU64::new(0))).collect(),
+        }
+    }
+
+    /// Coordinator: arms the block for the next phase. Must precede
+    /// `barrier.open()`, which publishes these stores to the workers.
+    fn prepare(&self, t0: u64, end: u64) {
+        self.t0.store(t0, Ordering::Relaxed);
+        self.end.store(end, Ordering::Relaxed);
+        self.trunc.store(u64::MAX, Ordering::Relaxed);
+        for p in &self.progress {
+            p.0.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// The effective (possibly truncated) inclusive end of the phase.
+    fn effective_end(&self) -> u64 {
+        self.end
+            .load(Ordering::Relaxed)
+            .min(self.trunc.load(Ordering::Acquire))
+    }
+}
 
 /// A routed-but-undelivered event: `(tick, seq, event)` entries waiting
 /// in a shard's mailbox until its next phase begins.
@@ -270,17 +375,16 @@ impl Shard {
         }
     }
 
-    /// Processes every event this shard owns in `[.., window_end]`, in
-    /// exactly the order the sequential engine would have: queued events
-    /// by `(tick, seq)`, interleaved with same-window self-redeliveries
-    /// (whose eventual seqs are larger than any queued seq, so at equal
-    /// ticks queued events go first and self-children follow in
-    /// discovery order).
-    fn run_phase(
+    /// Runs one macro-window: the shard advances through `[t0, end]` in
+    /// lookahead-wide sub-windows, in decentralized lockstep with the
+    /// other shards (atomic progress counters, no coordinator
+    /// round-trips), truncating the window the moment one of its own
+    /// messages leaves the shard (see the module docs).
+    fn run_window(
         &mut self,
         topo: &Topology,
         map: &ShardMap,
-        window_end: Tick,
+        ctl: &WindowCtl,
         mailbox: &mut Vec<(Tick, u64, ShardEv)>,
     ) {
         self.parents.clear();
@@ -289,16 +393,89 @@ impl Shard {
         for (t, seq, ev) in mailbox.drain(..) {
             self.queue.push_at_seq(t, seq, ev);
         }
+        let t0 = ctl.t0.load(Ordering::Relaxed);
+        let end = ctl.end.load(Ordering::Relaxed);
+        let w = ctl.sub_w;
+        let mut j = 0u64;
+        loop {
+            let hard = end.min(ctl.trunc.load(Ordering::Acquire));
+            let sub_end = t0
+                .saturating_add((j + 1).saturating_mul(w))
+                .saturating_sub(1)
+                .min(hard);
+            if self.run_span(Tick::from_ps(sub_end), Tick::from_ps(hard), topo, map) {
+                // A message left this shard inside the macro-window: cap
+                // the window at this sub-window's end. Everything emitted
+                // in sub-window `j` arrives at least one lookahead after
+                // the sub-window's start, i.e. strictly beyond `end(j)`,
+                // so no shard that stops there can miss it.
+                ctl.trunc.fetch_min(sub_end, Ordering::AcqRel);
+            }
+            ctl.progress[self.index].0.store(j + 1, Ordering::Release);
+            if sub_end >= end.min(ctl.trunc.load(Ordering::Acquire)) {
+                break;
+            }
+            // Enter sub-window j+1 only once every shard has finished j;
+            // the release/acquire pair on `progress` also carries any
+            // truncation published during j, so the re-load at the top
+            // of the loop sees it before any event past it is touched.
+            let mut spins = 0u32;
+            while ctl
+                .progress
+                .iter()
+                .any(|p| p.0.load(Ordering::Acquire) <= j)
+            {
+                spin_or_yield(&mut spins);
+            }
+            j += 1;
+        }
+        // Self-redeliveries scheduled past the (possibly truncated) end
+        // stay unprocessed; the merge routes them into this shard's own
+        // mailbox for a later window, so only the replay index is
+        // dropped here.
+        let final_end = end.min(ctl.trunc.load(Ordering::Acquire));
+        while let Some(&Reverse((tps, _))) = self.self_heap.peek() {
+            debug_assert!(tps > final_end, "unprocessed self-child inside the window");
+            self.self_heap.pop();
+        }
+        self.next_tick = self.queue.peek_tick();
+    }
+
+    /// Processes every event this shard owns in `[.., span_end]`, in
+    /// exactly the order the sequential engine would have: queued events
+    /// by `(tick, seq)`, interleaved with same-window self-redeliveries
+    /// (whose eventual seqs are larger than any queued seq, so at equal
+    /// ticks queued events go first and self-children follow in
+    /// discovery order). Self-redeliveries up to `hard_end` — the
+    /// macro-window's current effective end — are indexed for replay in
+    /// this or a later sub-window. Returns whether any emission left the
+    /// shard (cross-shard delivery or memory-bound request) at or before
+    /// `hard_end`.
+    fn run_span(
+        &mut self,
+        span_end: Tick,
+        hard_end: Tick,
+        topo: &Topology,
+        map: &ShardMap,
+    ) -> bool {
+        let mut crossed = false;
         let mut held: Option<(Tick, u64, ShardEv)> = None;
         loop {
             if held.is_none() {
-                held = self.queue.pop_seq_before(window_end);
+                held = self.queue.pop_seq_before(span_end);
             }
-            let take_self = match (held.as_ref(), self.self_heap.peek()) {
+            // Self-children beyond this sub-window stay heaped for a
+            // later span of the same macro-window.
+            let heap_head = self
+                .self_heap
+                .peek()
+                .map(|Reverse((st, _))| *st)
+                .filter(|st| *st <= span_end.as_ps());
+            let take_self = match (held.as_ref(), heap_head) {
                 (None, None) => break,
                 (None, Some(_)) => true,
                 (Some(_), None) => false,
-                (Some((ht, _, _)), Some(Reverse((st, _)))) => *st < ht.as_ps(),
+                (Some((ht, _, _)), Some(st)) => st < ht.as_ps(),
             };
             let (tick, origin, ev) = if take_self {
                 let Reverse((tps, idx)) = self.self_heap.pop().expect("peeked");
@@ -316,11 +493,17 @@ impl Shard {
             let children = (self.children.len() - first_child) as u32;
             for idx in first_child..self.children.len() {
                 let (ct, c) = self.children[idx];
-                if ct <= window_end {
-                    if let Child::Deliver { dst, msg, .. } = c {
-                        if map.dest_shard(dst, msg.home) == Some(self.index) {
+                if ct > hard_end {
+                    continue;
+                }
+                if let Child::Deliver { dst, msg, .. } = c {
+                    match map.dest_shard(dst, msg.home) {
+                        Some(d) if d == self.index => {
                             self.self_heap.push(Reverse((ct.as_ps(), idx as u32)));
                         }
+                        // Another shard (or the coordinator's memory
+                        // agent) needs this inside the macro-window.
+                        _ => crossed = true,
                     }
                 }
             }
@@ -330,7 +513,7 @@ impl Shard {
                 children,
             });
         }
-        self.next_tick = self.queue.peek_tick();
+        crossed
     }
 
     /// Dispatches one event to the owning agent, recording its emissions.
@@ -442,10 +625,22 @@ struct MergeState<'a> {
     mailboxes: &'a [Mailbox],
     /// Earliest undelivered mailbox tick per shard (coordinator-side).
     mb_min: &'a mut [u64],
-    coord_q: &'a mut EventQueue<CoordEv>,
+    /// Pending coordinator-owned memory events. Kept separate from the
+    /// completions because the window planner caps the macro-window at
+    /// the head of *this* queue plus one lookahead (a memory reply
+    /// generated at the merge must land beyond the window), while
+    /// completions are pure leaves that never bound anything.
+    coord_mem: &'a mut EventQueue<CoordEv>,
+    /// Pending coordinator-owned completions.
+    coord_done: &'a mut EventQueue<CoordEv>,
     /// Coordinator events of this window, keyed `(tick, seq, item idx)`.
     heap: &'a mut BinaryHeap<Reverse<(u64, u64, u32)>>,
     items: &'a mut Vec<CoordEv>,
+    /// Messages routed this window that left their producing shard
+    /// (cross-shard mailbox pushes, memory-bound requests, memory
+    /// replies). Feeds the window-widening policy and the always-on
+    /// `msgs_crossed` counter.
+    msgs_crossed: u64,
 }
 
 impl MergeState<'_> {
@@ -455,7 +650,10 @@ impl MergeState<'_> {
             self.heap
                 .push(Reverse((tick.as_ps(), seq, (self.items.len() - 1) as u32)));
         } else {
-            self.coord_q.push_at_seq(tick, seq, ev);
+            match ev {
+                CoordEv::Mem { .. } => self.coord_mem.push_at_seq(tick, seq, ev),
+                CoordEv::Complete { .. } => self.coord_done.push_at_seq(tick, seq, ev),
+            }
         }
     }
 
@@ -468,7 +666,10 @@ impl MergeState<'_> {
                 self.push_coord(tick, seq, CoordEv::Complete { req, level });
             }
             Child::Deliver { dst, msg, level } => match self.map.dest_shard(dst, msg.home) {
-                None => self.push_coord(tick, seq, CoordEv::Mem { msg }),
+                None => {
+                    self.msgs_crossed += 1;
+                    self.push_coord(tick, seq, CoordEv::Mem { msg });
+                }
                 Some(d) => {
                     if tick <= self.window_end {
                         // Inside the window only a self-redelivery is
@@ -484,6 +685,12 @@ impl MergeState<'_> {
                             self.window_end
                         );
                     } else {
+                        // Deferred self-redeliveries come back through
+                        // the mailbox too, but only messages that left
+                        // their shard count as crossings.
+                        if origin != Some(d) {
+                            self.msgs_crossed += 1;
+                        }
                         self.mailboxes[d].lock().expect("mailbox poisoned").push((
                             tick,
                             seq,
@@ -509,6 +716,20 @@ impl ProtocolEngine {
         let topo = self.topology().clone();
         let map = ShardMap::new(&topo, nshards);
 
+        // Persistent pool: spawned on the first engaging run, sized for
+        // the configured thread count, and reused by every later run. A
+        // later engagement needing more workers (e.g. `set_parallel` to
+        // a higher count) replaces it once.
+        let need = nshards - 1;
+        if self.pool.as_ref().is_none_or(|p| p.workers() < need) {
+            let size = self
+                .parallel
+                .map_or(need, |c| c.threads.saturating_sub(1))
+                .max(need);
+            self.pool = Some(WorkerPool::new(size));
+        }
+        let pool = self.pool.take().expect("pool just ensured");
+
         // Distribute agents and pending events over the shards (caches
         // round-robin, homes weight-balanced by the map). Events keep
         // their already-assigned sequence numbers, so per-shard queues
@@ -531,7 +752,8 @@ impl ProtocolEngine {
         for (i, h) in self.homes.drain(..).enumerate() {
             shards[map.home_shard[i] as usize].homes.push(h);
         }
-        let mut coord_q: EventQueue<CoordEv> = EventQueue::new();
+        let mut coord_mem: EventQueue<CoordEv> = EventQueue::new();
+        let mut coord_done: EventQueue<CoordEv> = EventQueue::new();
         while let Some((tick, seq, ev)) = self.queue.pop_seq() {
             match ev.unpack() {
                 Ev::Issue { req } => {
@@ -554,10 +776,10 @@ impl ProtocolEngine {
                             .queue
                             .push_at_seq(tick, seq, ShardEv::Deliver { dst, msg, level })
                     }
-                    None => coord_q.push_at_seq(tick, seq, CoordEv::Mem { msg }),
+                    None => coord_mem.push_at_seq(tick, seq, CoordEv::Mem { msg }),
                 },
                 Ev::Complete { req, level } => {
-                    coord_q.push_at_seq(tick, seq, CoordEv::Complete { req, level })
+                    coord_done.push_at_seq(tick, seq, CoordEv::Complete { req, level })
                 }
             }
         }
@@ -570,56 +792,96 @@ impl ProtocolEngine {
         let shards: Vec<Mutex<Shard>> = shards.into_iter().map(Mutex::new).collect();
         let mailboxes: Vec<Mailbox> = (0..nshards).map(|_| Mutex::new(Vec::new())).collect();
         let barrier = PhaseBarrier::new(nshards - 1);
-        let window_end_ps = AtomicU64::new(0);
+        let ctl = WindowCtl::new(nshards, w);
         let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
         let mut items: Vec<CoordEv> = Vec::new();
 
-        std::thread::scope(|scope| {
-            for mailbox_and_shard in shards.iter().zip(&mailboxes).skip(1) {
-                let (shard, mailbox) = mailbox_and_shard;
-                let (barrier, window_end_ps, topo, map) = (&barrier, &window_end_ps, &topo, &map);
-                scope.spawn(move || {
-                    let mut seen = 0;
-                    while let Some(epoch) = barrier.await_phase(seen) {
-                        seen = epoch;
-                        let end = Tick::from_ps(window_end_ps.load(Ordering::Acquire));
-                        let mut s = shard.lock().expect("shard poisoned");
-                        let mut m = mailbox.lock().expect("mailbox poisoned");
-                        s.run_phase(topo, map, end, &mut m);
-                        drop(m);
-                        drop(s);
-                        barrier.arrive();
-                    }
-                });
+        // The pool job: worker `wi` drives shard `wi + 1` through every
+        // phase until the barrier closes (shard 0 runs on the
+        // coordinator's thread; pool workers beyond the shard count sit
+        // this run out).
+        let worker = |wi: usize| {
+            let s = wi + 1;
+            if s >= nshards {
+                return;
             }
+            let mut seen = 0;
+            while let Some(epoch) = barrier.await_phase(seen) {
+                seen = epoch;
+                let mut shard = shards[s].lock().expect("shard poisoned");
+                let mut m = mailboxes[s].lock().expect("mailbox poisoned");
+                shard.run_window(&topo, &map, &ctl, &mut m);
+                drop(m);
+                drop(shard);
+                barrier.arrive();
+            }
+        };
+
+        pool.run_with_coordinator(&worker, || {
+            // Close the barrier even when the coordinator unwinds (merge
+            // assert, poisoned shard lock): workers parked in
+            // `await_phase` must exit the job or the pool's wait-guard
+            // would deadlock.
+            struct CloseOnDrop<'b>(&'b PhaseBarrier);
+            impl Drop for CloseOnDrop<'_> {
+                fn drop(&mut self) {
+                    self.0.close();
+                }
+            }
+            let _close = CloseOnDrop(&barrier);
 
             loop {
-                let coord_next = coord_q.peek_tick().map_or(u64::MAX, |t| t.as_ps());
+                let mem_next = coord_mem.peek_tick().map_or(u64::MAX, |t| t.as_ps());
+                let done_next = coord_done.peek_tick().map_or(u64::MAX, |t| t.as_ps());
                 let t0 = shard_next
                     .iter()
                     .zip(mb_min.iter())
                     .map(|(a, b)| (*a).min(*b))
                     .min()
                     .unwrap_or(u64::MAX)
-                    .min(coord_next);
+                    .min(mem_next)
+                    .min(done_next);
                 if t0 == u64::MAX || t0 > t.as_ps() {
                     break;
                 }
-                let window_end = Tick::from_ps(t0.saturating_add(w.as_ps() - 1)).min(t);
+                // Plan the macro-window: up to `widen` lookaheads, but
+                // never past the first pending memory event plus one
+                // lookahead — a reply generated at this window's merge
+                // must land strictly beyond the window.
+                let widen = self.pool_widen;
+                let mut end_ps = t0
+                    .saturating_add(w.as_ps().saturating_mul(widen))
+                    .saturating_sub(1);
+                if mem_next != u64::MAX {
+                    end_ps = end_ps.min(mem_next.saturating_add(w.as_ps() - 1));
+                }
+                let window_end = Tick::from_ps(end_ps).min(t);
+                self.pool_counters.windows += 1;
+                if widen > 1 {
+                    self.pool_counters.widened_windows += 1;
+                }
                 let shard_active = shard_next
                     .iter()
                     .zip(mb_min.iter())
                     .any(|(a, b)| (*a).min(*b) <= window_end.as_ps());
+                let final_end;
                 if shard_active {
-                    window_end_ps.store(window_end.as_ps(), Ordering::Relaxed);
+                    ctl.prepare(t0, window_end.as_ps());
                     barrier.open();
                     {
                         // The coordinator doubles as shard 0's worker.
                         let mut s = shards[0].lock().expect("shard poisoned");
                         let mut m = mailboxes[0].lock().expect("mailbox poisoned");
-                        s.run_phase(&topo, &map, window_end, &mut m);
+                        s.run_window(&topo, &map, &ctl, &mut m);
                     }
-                    barrier.await_workers();
+                    if !barrier.await_workers_or_abort(|| pool.panicked()) {
+                        panic!("parallel worker panicked during a phase");
+                    }
+                    final_end = Tick::from_ps(ctl.effective_end());
+                    // One barrier round, plus one lockstep sync per
+                    // shard per interior sub-window boundary.
+                    let subs = (final_end.as_ps() - t0) / w.as_ps() + 1;
+                    self.pool_counters.barrier_waits += 1 + (subs - 1) * nshards as u64;
                     // Every shard drained its mailbox during the phase.
                     mb_min.fill(u64::MAX);
                     let mut guards: Vec<MutexGuard<'_, Shard>> = shards
@@ -628,35 +890,54 @@ impl ProtocolEngine {
                         .collect();
                     let mut st = MergeState {
                         map: &map,
-                        window_end,
+                        window_end: final_end,
                         mailboxes: &mailboxes,
                         mb_min: &mut mb_min,
-                        coord_q: &mut coord_q,
+                        coord_mem: &mut coord_mem,
+                        coord_done: &mut coord_done,
                         heap: &mut heap,
                         items: &mut items,
+                        msgs_crossed: 0,
                     };
                     self.walk_window(&mut guards, &mut st);
+                    let crossed = st.msgs_crossed;
                     for (next, guard) in shard_next.iter_mut().zip(guards.iter()) {
                         *next = guard.next_tick.map_or(u64::MAX, |t| t.as_ps());
                     }
+                    self.pool_counters.msgs_crossed += crossed;
+                    self.pool_widen = if crossed > 0 || final_end < window_end {
+                        1
+                    } else {
+                        (widen * 2).min(MAX_WIDEN)
+                    };
                 } else {
                     // Coordinator-only window (completions / memory):
                     // no shard has work before the horizon, so skip the
                     // barrier round entirely.
+                    final_end = window_end;
                     let mut st = MergeState {
                         map: &map,
-                        window_end,
+                        window_end: final_end,
                         mailboxes: &mailboxes,
                         mb_min: &mut mb_min,
-                        coord_q: &mut coord_q,
+                        coord_mem: &mut coord_mem,
+                        coord_done: &mut coord_done,
                         heap: &mut heap,
                         items: &mut items,
+                        msgs_crossed: 0,
                     };
                     self.walk_window(&mut [], &mut st);
+                    let crossed = st.msgs_crossed;
+                    self.pool_counters.msgs_crossed += crossed;
+                    self.pool_widen = if crossed > 0 {
+                        1
+                    } else {
+                        (widen * 2).min(MAX_WIDEN)
+                    };
                 }
             }
-            barrier.close();
         });
+        self.pool = Some(pool);
 
         // Reassemble: agents return to their engine slots, undelivered
         // events (anything past `t`) return to the global queue with
@@ -686,16 +967,18 @@ impl ProtocolEngine {
                 self.queue.push_at_seq(tick, seq, unshard_ev(ev).pack());
             }
         }
-        while let Some((tick, seq, ev)) = coord_q.pop_seq() {
-            let ev = match ev {
-                CoordEv::Mem { msg } => Ev::Deliver {
-                    dst: AgentId::MEMORY,
-                    msg,
-                    level: None,
-                },
-                CoordEv::Complete { req, level } => Ev::Complete { req, level },
-            };
-            self.queue.push_at_seq(tick, seq, ev.pack());
+        for q in [&mut coord_mem, &mut coord_done] {
+            while let Some((tick, seq, ev)) = q.pop_seq() {
+                let ev = match ev {
+                    CoordEv::Mem { msg } => Ev::Deliver {
+                        dst: AgentId::MEMORY,
+                        msg,
+                        level: None,
+                    },
+                    CoordEv::Complete { req, level } => Ev::Complete { req, level },
+                };
+                self.queue.push_at_seq(tick, seq, ev.pack());
+            }
         }
         if t != Tick::MAX && t > self.now {
             self.now = t;
@@ -717,7 +1000,12 @@ impl ProtocolEngine {
             g.children_seqs.clear();
             g.children_seqs.resize(n, u64::MAX);
         }
-        while let Some((tick, seq, ev)) = st.coord_q.pop_seq_before(st.window_end) {
+        while let Some((tick, seq, ev)) = st.coord_mem.pop_seq_before(st.window_end) {
+            st.items.push(ev);
+            st.heap
+                .push(Reverse((tick.as_ps(), seq, (st.items.len() - 1) as u32)));
+        }
+        while let Some((tick, seq, ev)) = st.coord_done.pop_seq_before(st.window_end) {
             st.items.push(ev);
             st.heap
                 .push(Reverse((tick.as_ps(), seq, (st.items.len() - 1) as u32)));
@@ -1085,5 +1373,174 @@ mod tests {
         assert!(w > Tick::ZERO);
         // Bounded by the fastest cache link (cpu_l1: 8 ns + serialization).
         assert!(w <= Tick::from_ns(9), "lookahead {w} unexpectedly large");
+    }
+
+    /// Drives `eng` through `waves` small issue-then-run_until batches
+    /// (the scenario drivers' shape), returning all completions.
+    fn drive_waves(eng: &mut ProtocolEngine, seed: u64, waves: usize) -> Vec<Completion> {
+        let mut rng = SimRng::new(seed);
+        let mut out = Vec::new();
+        let mut t = Tick::ZERO;
+        for wave in 0..waves {
+            for i in 0..200u64 {
+                let agent = crate::msg::AgentId(2 + (rng.below(4) as usize));
+                let addr = PhysAddr::new((rng.below(256)) * 64);
+                let op = if rng.below(3) == 0 {
+                    MemOp::Store { value: i }
+                } else {
+                    MemOp::Load
+                };
+                eng.issue(agent, op, addr, t + Tick::from_ps(i * 400 + rng.below(300)));
+            }
+            t = Tick::from_us(4 * (wave as u64 + 1));
+            out.extend(eng.run_until(t));
+        }
+        out.extend(eng.run_to_quiescence());
+        out
+    }
+
+    #[test]
+    fn pool_threads_spawn_once_across_wave_runs() {
+        // The tentpole contract: thousands of small `run_until` calls
+        // reuse one set of worker threads. Capture the pool's thread ids
+        // after the first engaging run and assert they never change.
+        let mut par = build(4, 4, Some(ParallelConfig::always(3)));
+        let mut ids = None;
+        let mut rng = SimRng::new(0xBEEF);
+        let mut t = Tick::ZERO;
+        for wave in 0..30 {
+            for i in 0..150u64 {
+                let agent = crate::msg::AgentId(2 + (rng.below(4) as usize));
+                let addr = PhysAddr::new((rng.below(128)) * 64);
+                par.issue(
+                    agent,
+                    MemOp::Load,
+                    addr,
+                    t + Tick::from_ps(i * 500 + rng.below(400)),
+                );
+            }
+            t = Tick::from_us(4 * (wave + 1));
+            par.run_until(t);
+            if let Some(now_ids) = par.pool_thread_ids() {
+                match &ids {
+                    None => ids = Some(now_ids),
+                    Some(first) => assert_eq!(&now_ids, first, "pool re-spawned between runs"),
+                }
+            }
+        }
+        par.run_to_quiescence();
+        let first = ids.expect("parallel path never engaged");
+        assert_eq!(par.pool_thread_ids().as_ref(), Some(&first));
+        assert_eq!(first.len(), 2, "always(3) spawns threads-1 workers");
+        assert!(par.parallel_runs() > 10, "waves should engage repeatedly");
+    }
+
+    #[test]
+    fn wave_stream_matches_sequential_and_counts_pool_windows() {
+        let mut seq = build(4, 4, None);
+        let mut par = build(4, 4, Some(ParallelConfig::always(4)));
+        let a = drive_waves(&mut seq, 0xABBA, 12);
+        let b = drive_waves(&mut par, 0xABBA, 12);
+        streams_equal(&a, &b);
+        assert_eq!(seq.events_dispatched(), par.events_dispatched());
+        let pc = par.pool_counters();
+        assert!(pc.windows > 0, "no windows counted");
+        assert!(pc.barrier_waits > 0);
+        assert!(pc.widened_windows <= pc.windows);
+        assert_eq!(seq.pool_counters(), Default::default());
+        // The counters are deterministic: an identical re-run reproduces
+        // them exactly.
+        let mut again = build(4, 4, Some(ParallelConfig::always(4)));
+        let c = drive_waves(&mut again, 0xABBA, 12);
+        streams_equal(&b, &c);
+        assert_eq!(again.pool_counters(), pc);
+    }
+
+    #[test]
+    fn quiet_traffic_widens_windows() {
+        // A long drain with shard-local traffic only (cache hits after
+        // warm-up) must trigger the adaptive widening at least once;
+        // dense cross-shard talk in the same run must also have reset it
+        // (both counters strictly between 0 and windows).
+        let mut par = build(4, 4, Some(ParallelConfig::always(4)));
+        drive(&mut par, 0x1D1E, 2_000);
+        par.run_to_quiescence();
+        let pc = par.pool_counters();
+        assert!(pc.windows > 0);
+        assert!(
+            pc.widened_windows > 0,
+            "widening never engaged: {pc:?} (policy dead?)"
+        );
+        assert!(pc.msgs_crossed > 0, "stress traffic must cross shards");
+    }
+
+    #[test]
+    fn set_parallel_none_drops_pool_and_reengagement_respawns() {
+        let mut par = build(2, 4, Some(ParallelConfig::always(2)));
+        let mut seq = build(2, 4, None);
+        drive(&mut par, 21, 600);
+        drive(&mut seq, 21, 600);
+        let cut = Tick::from_us(120);
+        streams_equal(&seq.run_until(cut), &par.run_until(cut));
+        let first_ids = par.pool_thread_ids().expect("engaged");
+        // Sequential interlude: the pool is dropped (threads joined)...
+        par.set_parallel(None);
+        assert!(par.pool_thread_ids().is_none(), "disable must drop pool");
+        let mut rng = SimRng::new(5);
+        for i in 0..300u64 {
+            let agent = crate::msg::AgentId(2 + (i % 4) as usize);
+            let addr = PhysAddr::new((rng.below(96)) * 64);
+            let at = cut + Tick::from_ps(i * 600 + rng.below(400));
+            seq.issue(agent, MemOp::Store { value: i }, addr, at);
+            par.issue(agent, MemOp::Store { value: i }, addr, at);
+        }
+        let cut2 = Tick::from_us(400);
+        streams_equal(&seq.run_until(cut2), &par.run_until(cut2));
+        // ...and re-enabling spawns a fresh one lazily on the next run.
+        par.set_parallel(Some(ParallelConfig::always(2)));
+        for i in 0..300u64 {
+            let agent = crate::msg::AgentId(2 + (i % 4) as usize);
+            let addr = PhysAddr::new((i % 96) * 64);
+            let at = cut2 + Tick::from_ps(i * 600);
+            seq.issue(agent, MemOp::Load, addr, at);
+            par.issue(agent, MemOp::Load, addr, at);
+        }
+        streams_equal(&seq.run_to_quiescence(), &par.run_to_quiescence());
+        let new_ids = par.pool_thread_ids().expect("re-engaged");
+        assert_ne!(first_ids, new_ids, "disable/enable must re-spawn");
+        par.verify_invariants();
+        // Engine drop joins the pool's threads; reaching the end of this
+        // test without hanging is the assertion.
+    }
+
+    #[test]
+    fn growing_thread_count_replaces_pool_once() {
+        let burst = |par: &mut ProtocolEngine, seed: u64| {
+            let mut rng = SimRng::new(seed);
+            let base = par.now();
+            for i in 0..400u64 {
+                let agent = crate::msg::AgentId(2 + (rng.below(4) as usize));
+                let addr = PhysAddr::new((rng.below(256)) * 64);
+                par.issue(
+                    agent,
+                    MemOp::Load,
+                    addr,
+                    base + Tick::from_ps(i * 900 + rng.below(500)),
+                );
+            }
+            par.run_to_quiescence();
+        };
+        let mut par = build(4, 4, Some(ParallelConfig::always(2)));
+        burst(&mut par, 77);
+        let small = par.pool_thread_ids().expect("engaged");
+        assert_eq!(small.len(), 1);
+        par.set_parallel(Some(ParallelConfig::always(4)));
+        burst(&mut par, 78);
+        let grown = par.pool_thread_ids().expect("still engaged");
+        assert_eq!(grown.len(), 3, "pool must grow to threads-1 workers");
+        // Shrinking the config keeps the larger pool (idle workers park).
+        par.set_parallel(Some(ParallelConfig::always(2)));
+        burst(&mut par, 79);
+        assert_eq!(par.pool_thread_ids().expect("engaged"), grown);
     }
 }

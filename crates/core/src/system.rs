@@ -5,7 +5,7 @@ use crate::topo::TopologySpec;
 use cohet_os::{AccessKind, Accessor, NodeId, NodeKind, NumaTopology, OsError, Process, VirtAddr};
 use sim_core::Tick;
 use simcxl_coherence::prelude::*;
-use simcxl_coherence::{AtomicKind, RebalanceSpec};
+use simcxl_coherence::{AtomicKind, ParallelConfig, RebalanceSpec};
 use simcxl_cxl::{Atc, AtcConfig, IommuConfig};
 use simcxl_mem::{AddrRange, DramConfig, DramKind, MemoryInterface, PhysAddr};
 use simcxl_workloads::scenario::{self, ScenarioOutcome, ScenarioSpec};
@@ -47,6 +47,7 @@ pub struct CohetSystem {
     expander_mem: Option<u64>,
     topo: TopologySpec,
     parallel_threads: usize,
+    parallel_cfg: Option<ParallelConfig>,
     fault: Option<FaultPlan>,
     rebalance: Option<RebalanceSpec>,
 }
@@ -72,6 +73,7 @@ pub struct CohetSystemBuilder {
     legacy_stride: Option<u64>,
     legacy_weights: Option<Vec<u64>>,
     parallel_threads: usize,
+    parallel_cfg: Option<ParallelConfig>,
     fault: Option<FaultPlan>,
     rebalance: Option<RebalanceSpec>,
 }
@@ -89,6 +91,7 @@ impl Default for CohetSystemBuilder {
             legacy_stride: None,
             legacy_weights: None,
             parallel_threads: 1,
+            parallel_cfg: None,
             fault: None,
             rebalance: None,
         }
@@ -269,6 +272,19 @@ impl CohetSystemBuilder {
         self
     }
 
+    /// Like [`parallel`](Self::parallel), but passes a full
+    /// [`ParallelConfig`] through to the engine — shard count *and*
+    /// engagement threshold. Use this to force small batches through the
+    /// persistent worker pool (`ParallelConfig::always(n)`) or to raise
+    /// `min_queue` above [`ParallelConfig::DEFAULT_MIN_QUEUE`] for
+    /// latency-sensitive interactive drivers. Overrides any earlier
+    /// `parallel(threads)` call.
+    pub fn parallel_config(mut self, cfg: ParallelConfig) -> Self {
+        assert!(cfg.threads >= 1, "need at least one thread");
+        self.parallel_cfg = Some(cfg);
+        self
+    }
+
     /// Arms a deterministic [`FaultPlan`] on the coherence engine:
     /// every process or scenario this system spawns runs with the
     /// plan's timed link-degradation / slow-port / stall-port windows
@@ -361,6 +377,7 @@ impl CohetSystemBuilder {
             expander_mem: self.expander_mem,
             topo,
             parallel_threads: self.parallel_threads,
+            parallel_cfg: self.parallel_cfg,
             fault: self.fault,
             rebalance: self.rebalance,
         }
@@ -445,7 +462,9 @@ impl CohetSystem {
             .home(self.profile.home.clone())
             .memory(mi)
             .topology(topology);
-        if self.parallel_threads > 1 {
+        if let Some(cfg) = self.parallel_cfg {
+            builder = builder.parallel_config(cfg);
+        } else if self.parallel_threads > 1 {
             builder = builder.parallel(self.parallel_threads);
         }
         if let Some(plan) = &self.fault {
@@ -962,6 +981,39 @@ mod tests {
             (vals, p.elapsed())
         };
         assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn parallel_config_passthrough_forces_pool_engagement() {
+        // `parallel(n)` keeps the default engagement threshold, so the
+        // interactive path never reaches the worker pool; a full
+        // ParallelConfig with min_queue 0 forces even tiny batches
+        // through it. Results stay identical either way.
+        let run = |cfg: Option<ParallelConfig>| {
+            let mut b = CohetSystem::builder().topology(TopologySpec::Interleaved {
+                homes: 2,
+                stride: cohet_os::PAGE_SIZE,
+            });
+            if let Some(cfg) = cfg {
+                b = b.parallel_config(cfg);
+            }
+            let mut p = b.build().spawn_process();
+            let buf = p.malloc(8 * 4096).unwrap();
+            for i in 0..8u64 {
+                p.write_u64(buf + i * 4096, i * 7).unwrap();
+            }
+            let vals: Vec<u64> = (0..8u64)
+                .map(|i| p.read_u64(buf + i * 4096).unwrap())
+                .collect();
+            let engaged = p.engine().parallel_runs();
+            (vals, p.elapsed(), engaged)
+        };
+        let (seq_vals, seq_t, seq_engaged) = run(None);
+        assert_eq!(seq_engaged, 0);
+        let (par_vals, par_t, par_engaged) = run(Some(ParallelConfig::always(3)));
+        assert_eq!(seq_vals, par_vals);
+        assert_eq!(seq_t, par_t);
+        assert!(par_engaged > 0, "min_queue 0 must engage the pool");
     }
 
     #[test]

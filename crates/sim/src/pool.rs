@@ -1,0 +1,298 @@
+//! Persistent worker pool for phase-parallel simulation.
+//!
+//! [`WorkerPool`] spawns its OS threads exactly once and parks them on a
+//! condvar between jobs, so a driver that makes thousands of small
+//! `run_until` calls (wave-style scenario loops) pays the thread-spawn cost
+//! once per engine instead of once per call. A *job* is a `Fn(usize)`
+//! executed by every worker with its worker index; the pool owner runs a
+//! coordinator closure on the calling thread while the workers execute, and
+//! [`WorkerPool::run_with_coordinator`] does not return until every worker
+//! has finished the job.
+//!
+//! Panic safety: a panic inside a worker is caught at the job boundary (so
+//! the worker thread survives and stays poolable), recorded in a flag the
+//! coordinator can poll mid-job via [`WorkerPool::panicked`], and re-raised
+//! on the calling thread when the job completes. Dropping the pool signals
+//! shutdown and joins every thread.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{JoinHandle, ThreadId};
+
+/// A job shared with the workers for the duration of one dispatch. The
+/// `'static` is a lie told to the type system only: `run_with_coordinator`
+/// blocks until every worker has finished (even when the coordinator
+/// panics, via a drop guard), so the reference never outlives the borrow
+/// it was transmuted from.
+type Job = &'static (dyn Fn(usize) + Sync);
+
+struct JobSlot {
+    /// Incremented per dispatch; workers run a job when they observe an
+    /// epoch newer than the last one they completed.
+    epoch: u64,
+    job: Option<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    slot: Mutex<JobSlot>,
+    work_cv: Condvar,
+    /// Workers still running the current job; the dispatcher waits for 0.
+    remaining: Mutex<usize>,
+    done_cv: Condvar,
+    /// Set by any worker whose job closure panicked; cleared at the next
+    /// dispatch. The coordinator polls this to abort waits that would
+    /// otherwise deadlock on a worker that died mid-phase.
+    panicked: AtomicBool,
+}
+
+/// A fixed-size pool of persistent worker threads (see module docs).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+fn worker_loop(index: usize, shared: &Shared) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.slot.lock().expect("pool mutex poisoned");
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.epoch != seen {
+                    seen = slot.epoch;
+                    break slot.job.expect("job present at new epoch");
+                }
+                slot = shared.work_cv.wait(slot).expect("pool mutex poisoned");
+            }
+        };
+        if catch_unwind(AssertUnwindSafe(|| job(index))).is_err() {
+            shared.panicked.store(true, Ordering::Release);
+        }
+        let mut remaining = shared.remaining.lock().expect("pool mutex poisoned");
+        *remaining -= 1;
+        if *remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `workers` threads (parked until the first job).
+    ///
+    /// `workers` may be zero; such a pool dispatches trivially and exists
+    /// so callers need not special-case a single-shard degenerate layout.
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(JobSlot {
+                epoch: 0,
+                job: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            remaining: Mutex::new(0),
+            done_cv: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("simcxl-worker-{i}"))
+                    .spawn(move || worker_loop(i, &shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Number of worker threads owned by the pool.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// The OS thread IDs of the workers, in worker-index order. Stable for
+    /// the lifetime of the pool — the spawn-once contract tests hang off
+    /// this.
+    pub fn thread_ids(&self) -> Vec<ThreadId> {
+        self.handles.iter().map(|h| h.thread().id()).collect()
+    }
+
+    /// True if a worker's job closure has panicked during the current (or
+    /// an unreaped previous) job. Coordinators poll this inside spin waits
+    /// so a dead worker aborts the wait instead of deadlocking it.
+    pub fn panicked(&self) -> bool {
+        self.shared.panicked.load(Ordering::Acquire)
+    }
+
+    /// Run `job(worker_index)` on every worker while `coordinate` runs on
+    /// the calling thread; return `coordinate`'s value once every worker
+    /// has finished. If any worker panicked, the panic is re-raised here
+    /// (after all workers have quiesced). If `coordinate` itself panics,
+    /// the guard still waits for the workers before unwinding, so `job`'s
+    /// borrows never dangle.
+    pub fn run_with_coordinator<R>(
+        &self,
+        job: &(dyn Fn(usize) + Sync),
+        coordinate: impl FnOnce() -> R,
+    ) -> R {
+        struct WaitGuard<'p>(&'p WorkerPool);
+        impl Drop for WaitGuard<'_> {
+            fn drop(&mut self) {
+                let shared = &self.0.shared;
+                let mut remaining = shared.remaining.lock().expect("pool mutex poisoned");
+                while *remaining > 0 {
+                    remaining = shared.done_cv.wait(remaining).expect("pool mutex poisoned");
+                }
+            }
+        }
+
+        // SAFETY: the WaitGuard below blocks until every worker has
+        // returned from `job` — on both the normal and the unwinding path —
+        // so the 'static lifetime never escapes the real borrow.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        {
+            let mut remaining = self.shared.remaining.lock().expect("pool mutex poisoned");
+            *remaining = self.handles.len();
+        }
+        self.shared.panicked.store(false, Ordering::Release);
+        {
+            let mut slot = self.shared.slot.lock().expect("pool mutex poisoned");
+            slot.epoch += 1;
+            slot.job = Some(job);
+            self.shared.work_cv.notify_all();
+        }
+        let guard = WaitGuard(self);
+        let out = coordinate();
+        drop(guard);
+        // Drop the now-dangling job reference before the borrow ends.
+        self.shared
+            .slot
+            .lock()
+            .expect("pool mutex poisoned")
+            .job
+            .take();
+        if self.shared.panicked.swap(false, Ordering::AcqRel) {
+            panic!("worker thread panicked during a pool job");
+        }
+        out
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.slot.lock().expect("pool mutex poisoned");
+            slot.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            // A worker that panicked outside a job (impossible today) would
+            // surface here; job panics are caught and re-raised at dispatch.
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn workers_run_job_and_coordinator_overlaps() {
+        let pool = WorkerPool::new(3);
+        let hits = AtomicUsize::new(0);
+        let coord_ran = pool.run_with_coordinator(
+            &|i| {
+                hits.fetch_add(i + 1, Ordering::SeqCst);
+            },
+            || 42,
+        );
+        assert_eq!(coord_ran, 42);
+        assert_eq!(hits.load(Ordering::SeqCst), 1 + 2 + 3);
+    }
+
+    #[test]
+    fn threads_are_spawned_once_and_reused() {
+        let pool = WorkerPool::new(2);
+        let before = pool.thread_ids();
+        let seen = Mutex::new(Vec::new());
+        for _ in 0..50 {
+            pool.run_with_coordinator(
+                &|_| {
+                    seen.lock().unwrap().push(std::thread::current().id());
+                },
+                || (),
+            );
+        }
+        assert_eq!(pool.thread_ids(), before);
+        for id in seen.lock().unwrap().iter() {
+            assert!(before.contains(id), "job ran outside the pool's threads");
+        }
+        assert_eq!(seen.lock().unwrap().len(), 100);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_with_coordinator(
+                &|i| {
+                    if i == 0 {
+                        panic!("boom");
+                    }
+                },
+                || (),
+            );
+        }));
+        assert!(caught.is_err(), "worker panic must reach the caller");
+        assert!(!pool.panicked(), "flag is reaped by the re-raise");
+        // The pool is still usable after a job panic.
+        let ok = AtomicUsize::new(0);
+        pool.run_with_coordinator(
+            &|_| {
+                ok.fetch_add(1, Ordering::SeqCst);
+            },
+            || (),
+        );
+        assert_eq!(ok.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn panicked_flag_visible_mid_job() {
+        let pool = WorkerPool::new(1);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_with_coordinator(&|_| panic!("early"), || {
+                // The coordinator can observe the flag and bail out of
+                // its own waits; panicked() flips once the worker dies.
+                let mut spins = 0u32;
+                while !pool.panicked() {
+                    crate::shard::spin_or_yield(&mut spins);
+                }
+            });
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn drop_joins_cleanly_and_zero_worker_pool_is_fine() {
+        let pool = WorkerPool::new(0);
+        let out = pool.run_with_coordinator(&|_| unreachable!(), || 7);
+        assert_eq!(out, 7);
+        drop(pool);
+        let pool = WorkerPool::new(4);
+        drop(pool); // joins parked workers without a job ever dispatched
+    }
+}

@@ -131,11 +131,28 @@ impl PhaseBarrier {
             spin_or_yield(&mut spins);
         }
     }
+
+    /// Coordinator: like [`await_workers`](Self::await_workers), but polls
+    /// `abort` while waiting and returns `false` if it fires before every
+    /// worker arrives. A worker that dies mid-phase (e.g. its job closure
+    /// panicked and was caught by a pool) never calls
+    /// [`arrive`](Self::arrive); an abortable wait lets the coordinator
+    /// detect that through a side channel instead of spinning forever.
+    pub fn await_workers_or_abort(&self, mut abort: impl FnMut() -> bool) -> bool {
+        let mut spins = 0u32;
+        while self.arrived.load(Ordering::Acquire) < self.workers {
+            if abort() {
+                return false;
+            }
+            spin_or_yield(&mut spins);
+        }
+        true
+    }
 }
 
 /// Spins briefly, then yields to the OS scheduler so progress is made
 /// even when participants outnumber hardware threads.
-fn spin_or_yield(spins: &mut u32) {
+pub fn spin_or_yield(spins: &mut u32) {
     if *spins < 64 {
         *spins += 1;
         std::hint::spin_loop();
@@ -189,5 +206,20 @@ mod tests {
         let barrier = PhaseBarrier::new(0);
         barrier.open();
         barrier.await_workers(); // must not block
+    }
+
+    #[test]
+    fn abortable_wait_returns_false_when_a_worker_never_arrives() {
+        let barrier = PhaseBarrier::new(2);
+        barrier.open();
+        barrier.arrive(); // only one of the two workers arrives
+        let mut polls = 0u32;
+        let done = barrier.await_workers_or_abort(|| {
+            polls += 1;
+            polls > 3
+        });
+        assert!(!done);
+        barrier.arrive();
+        assert!(barrier.await_workers_or_abort(|| false));
     }
 }

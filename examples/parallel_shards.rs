@@ -111,6 +111,15 @@ fn main() {
         "  streams are byte-identical ({} completions)",
         seq_stream.len()
     );
+    // The persistent pool's always-on counters: how many macro-windows
+    // ran, how many were adaptively widened past one lookahead, and how
+    // much cross-shard traffic the merges routed. CI logs this line as
+    // the executor-behaviour record of the run.
+    println!(
+        "  pool      : {} ({} worker threads)",
+        par.pool_counters(),
+        par.pool_thread_ids().map_or(0, |ids| ids.len())
+    );
     for h in 0..HOMES {
         let s = par.home_stats_for(HomeId(h));
         println!(

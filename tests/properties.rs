@@ -370,6 +370,72 @@ proptest! {
         prop_assert_eq!(seq.home_stats(), par.home_stats());
     }
 
+    /// Wave-driven engagement through the persistent pool: many small
+    /// `run_until` calls (random wave sizes, random inter-wave gaps,
+    /// some waves empty) must produce the same cumulative completion
+    /// stream as one sequential engine driven identically. This is the
+    /// driver shape the persistent pool exists for — the executor
+    /// engages, parks, and re-engages across calls, carrying its
+    /// window-widening state between runs — and the shape the old
+    /// spawn-per-call executor never saw at proptest scale.
+    #[test]
+    fn wave_driven_run_until_stream_equals_sequential(
+        threads in 2usize..5,
+        waves in prop::collection::vec(
+            (0usize..40, 1u64..4000, any::<u16>()), 1..12),
+    ) {
+        let topology = Topology::line_interleaved(4);
+        let build = |parallel: bool| {
+            let mut b = ProtocolEngine::builder().topology(topology.clone());
+            if parallel {
+                b = b.parallel_config(simcxl_coherence::ParallelConfig::always(threads));
+            }
+            let mut eng = b.build();
+            let a = eng.add_cache(CacheConfig::cpu_l1());
+            let c = eng.add_cache(CacheConfig::hmc_128k());
+            (eng, a, c)
+        };
+        let drive = |eng: &mut ProtocolEngine, a: AgentId, b: AgentId| {
+            let mut done = Vec::new();
+            let mut t = Tick::ZERO;
+            for (ops, gap_ns, salt) in &waves {
+                for i in 0..*ops {
+                    let agent = if (i + *salt as usize).is_multiple_of(3) { b } else { a };
+                    let line = (i as u64 * 7 + *salt as u64) % 64;
+                    let op = match (i + *salt as usize) % 4 {
+                        0 => MemOp::Load,
+                        1 => MemOp::Store { value: i as u64 ^ *salt as u64 },
+                        2 => MemOp::Rmw {
+                            kind: AtomicKind::FetchAdd,
+                            operand: 1,
+                            operand2: 0,
+                        },
+                        _ => MemOp::NcPush { value: *salt as u64 },
+                    };
+                    eng.issue(agent, op, PhysAddr::new(0x8000 + line * 64),
+                        t + Tick::from_ps(i as u64 * 131));
+                }
+                t += Tick::from_ns(*gap_ns);
+                done.extend(eng.run_until(t));
+            }
+            done.extend(eng.run_to_quiescence());
+            done
+        };
+        let (mut seq, a1, b1) = build(false);
+        let (mut par, a2, b2) = build(true);
+        let s = drive(&mut seq, a1, b1);
+        let p = drive(&mut par, a2, b2);
+        prop_assert_eq!(s, p, "wave-driven parallel stream diverged");
+        prop_assert_eq!(seq.events_dispatched(), par.events_dispatched());
+        par.verify_invariants();
+        prop_assert_eq!(seq.home_stats(), par.home_stats());
+        // Re-running the parallel engine must also reproduce its own
+        // pool counters: they are merge-derived, not schedule-derived.
+        let (mut par2, a3, b3) = build(true);
+        drive(&mut par2, a3, b3);
+        prop_assert_eq!(par.pool_counters(), par2.pool_counters());
+    }
+
     /// Scenario runs are deterministic functions of the spec: identical
     /// specs reproduce identical outcomes, and the `parallel` thread
     /// count never changes the stream (the executor drives the engine
